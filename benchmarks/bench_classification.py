@@ -1,0 +1,67 @@
+"""Regenerates the paper's in-text **fault classification** (claim C1):
+34,400 single faults on b14 graded into failure / latent / silent.
+
+Paper: 49.2 % failure, 4.4 % latent, 46.4 % silent. Our Viper-style b14
+must land in the same regime: failure and silent each roughly half, latent
+a small residue. This bench also times the bit-parallel oracle itself —
+the software engine standing in for the FPGA.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.eval.classification import run_classification_experiment
+from repro.eval.paper import PAPER_CLASSIFICATION
+from repro.sim.parallel import grade_faults
+
+
+@pytest.fixture(scope="module")
+def classification(b14, b14_bench):
+    return run_classification_experiment(b14, b14_bench)
+
+
+def test_bench_grade_all_faults(benchmark, b14, b14_bench, b14_faults):
+    """Time grading the complete fault set (numpy backend)."""
+    result = once(benchmark, grade_faults, b14, b14_bench, b14_faults)
+    assert result.num_faults == 34_400
+
+
+def test_bench_classification_report(benchmark, b14, b14_bench):
+    result = once(benchmark, run_classification_experiment, b14, b14_bench)
+    print()
+    print(result.render())
+    print(
+        f"mean failure latency {result.mean_failure_latency():.1f} cycles, "
+        f"mean silent latency {result.mean_silent_latency():.1f} cycles"
+    )
+
+
+class TestClassificationShape:
+    def test_failure_fraction_band(self, classification):
+        # paper: 49.2 % — processor-shaped circuits land 35-65 %
+        assert 35 <= classification.percentages["failure"] <= 65
+
+    def test_silent_fraction_band(self, classification):
+        # paper: 46.4 %
+        assert 25 <= classification.percentages["silent"] <= 60
+
+    def test_latent_is_smallest_class(self, classification):
+        pct = classification.percentages
+        assert pct["latent"] < pct["failure"]
+        assert pct["latent"] < pct["silent"]
+        # paper: 4.4 % — ours stays below 15 %
+        assert pct["latent"] < 15
+
+    def test_total_is_exhaustive(self, classification):
+        assert classification.num_faults == 34_400
+
+    def test_paper_reference_unchanged(self):
+        assert PAPER_CLASSIFICATION == {
+            "failure": 49.2, "latent": 4.4, "silent": 46.4
+        }
+
+    def test_short_latencies_enable_early_exit(self, classification):
+        """The latency structure behind Table 2: failures and silents
+        classify quickly, which is what the early-exit protocols bank on."""
+        assert classification.mean_failure_latency() < 40
+        assert classification.mean_silent_latency() < 40

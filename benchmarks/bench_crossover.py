@@ -1,0 +1,64 @@
+"""Regenerates the paper's in-text **crossover claim** (C3):
+
+"[state-scan] improves when the number of cycles is higher than the
+flip-flop number. The Time-Multiplexed technique is always the fastest."
+
+Sweeps processor-shaped circuits across (flip-flops x testbench length)
+and verifies both halves of the claim empirically.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.eval.crossover import run_crossover_experiment
+
+BUDGETS = (32, 64, 128)
+LENGTHS = (32, 128, 512)
+
+
+@pytest.fixture(scope="module")
+def crossover():
+    return run_crossover_experiment(BUDGETS, LENGTHS, seed=7)
+
+
+def test_bench_crossover_sweep(benchmark):
+    result = once(benchmark, run_crossover_experiment, BUDGETS, LENGTHS, 7)
+    print()
+    print(result.render())
+
+
+class TestCrossoverClaims:
+    def test_time_mux_always_fastest(self, crossover):
+        assert crossover.paper_claims_hold()["time_mux_always_fastest"]
+
+    def test_state_scan_wins_long_benches(self, crossover):
+        assert crossover.paper_claims_hold()[
+            "state_scan_wins_when_cycles_exceed_flops"
+        ]
+
+    def test_mask_scan_wins_short_benches(self, crossover):
+        """The b14 situation generalises: with cycles well below the flop
+        count, mask-scan beats state-scan."""
+        short = [
+            p for p in crossover.points if p.num_cycles <= p.num_flops
+        ]
+        assert short, "sweep must include the short-bench regime"
+        assert all(not p.state_scan_wins for p in short)
+
+    def test_state_scan_cost_grows_with_flops(self, crossover):
+        by_cycles = {}
+        for point in crossover.points:
+            by_cycles.setdefault(point.num_cycles, []).append(point)
+        for points in by_cycles.values():
+            points.sort(key=lambda p: p.num_flops)
+            costs = [p.cycles_per_fault["state_scan"] for p in points]
+            assert costs == sorted(costs)
+
+    def test_mask_scan_cost_grows_with_cycles(self, crossover):
+        by_flops = {}
+        for point in crossover.points:
+            by_flops.setdefault(point.num_flops, []).append(point)
+        for points in by_flops.values():
+            points.sort(key=lambda p: p.num_cycles)
+            costs = [p.cycles_per_fault["mask_scan"] for p in points]
+            assert costs == sorted(costs)

@@ -1,0 +1,62 @@
+"""Ablation: multi-chain state-scan (our extension beyond the paper).
+
+The paper's state-scan pays N scan-in cycles per fault through a single
+chain. Splitting the shadow register into K parallel chains divides that
+term by K — this bench sweeps K on the b14 campaign and shows state-scan
+closing its gap to mask-scan (and approaching time-mux for large K).
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.emu.campaign import run_campaign
+
+CHAINS = (1, 2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("chains", CHAINS)
+def test_bench_state_scan_chain_sweep(benchmark, b14, b14_bench, b14_faults, b14_oracle, chains):
+    result = once(
+        benchmark,
+        run_campaign,
+        b14,
+        b14_bench,
+        "state_scan",
+        faults=b14_faults,
+        oracle=b14_oracle,
+        scan_chains=chains,
+    )
+    print(
+        f"\nstate-scan x{chains}: {result.timing.milliseconds:.2f} ms "
+        f"({result.timing.us_per_fault:.2f} us/fault)"
+    )
+
+
+class TestChainSweepShape:
+    @pytest.fixture(scope="class")
+    def sweep(self, b14, b14_bench, b14_faults, b14_oracle):
+        return {
+            chains: run_campaign(
+                b14, b14_bench, "state_scan",
+                faults=b14_faults, oracle=b14_oracle, scan_chains=chains,
+            )
+            for chains in CHAINS
+        }
+
+    def test_monotone_improvement(self, sweep):
+        times = [sweep[c].total_cycles for c in CHAINS]
+        assert times == sorted(times, reverse=True)
+
+    def test_eight_chains_beat_mask_scan_on_b14(
+        self, sweep, b14, b14_bench, b14_faults, b14_oracle
+    ):
+        """The paper's b14 verdict (state-scan loses because N=215 > T=160)
+        flips once the scan chain is split ~8 ways."""
+        mask = run_campaign(
+            b14, b14_bench, "mask_scan", faults=b14_faults, oracle=b14_oracle
+        )
+        assert sweep[8].total_cycles < mask.total_cycles
+
+    def test_verdicts_independent_of_chains(self, sweep):
+        counts = [sweep[c].dictionary.counts() for c in CHAINS]
+        assert all(c == counts[0] for c in counts)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Everything expensive (b14, its program testbench, the exhaustive fault
+oracle) is computed once per session and shared across benches — the
+oracle is technique-independent, exactly as in the library itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+from repro.eval.paper import PAPER_B14
+from repro.faults.model import exhaustive_fault_list
+from repro.sim.parallel import grade_faults
+
+
+@pytest.fixture(scope="session")
+def b14():
+    return build_b14()
+
+
+@pytest.fixture(scope="session")
+def b14_bench(b14):
+    return b14_program_testbench(b14, PAPER_B14["stimulus_vectors"], seed=0)
+
+
+@pytest.fixture(scope="session")
+def b14_faults(b14, b14_bench):
+    faults = exhaustive_fault_list(b14, b14_bench.num_cycles)
+    assert len(faults) == PAPER_B14["faults"]
+    return faults
+
+
+@pytest.fixture(scope="session")
+def b14_oracle(b14, b14_bench, b14_faults):
+    return grade_faults(b14, b14_bench, b14_faults)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

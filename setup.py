@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has setuptools but no `wheel` package, so editable
+installs must take the legacy `setup.py develop` path; all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

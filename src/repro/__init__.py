@@ -1,0 +1,62 @@
+"""repro — autonomous FPGA emulation for fast transient (SEU) fault grading.
+
+A full-stack Python reproduction of *"Techniques for Fast Transient Fault
+Grading Based on Autonomous Emulation"* (Lopez-Ongil, Garcia-Valderas,
+Portela-Garcia, Entrena-Arrontes — DATE 2005): gate-level netlists, RTL
+elaboration, LUT technology mapping, bit-parallel fault simulation, the
+three autonomous fault-injection techniques (mask-scan, state-scan,
+time-multiplexed), cycle-accurate campaign engines and the paper's full
+evaluation harness.
+
+Quick start::
+
+    from repro import AutonomousEmulator, build_circuit
+    from repro.circuits.itc99.b14 import b14_program_testbench
+
+    b14 = build_circuit("b14")
+    emulator = AutonomousEmulator(b14, technique="time_multiplexed")
+    testbench = b14_program_testbench(b14, 160)
+    result = emulator.run_campaign(testbench)
+    print(result.summary())
+"""
+
+from repro.circuits import available_circuits, build_circuit
+from repro.emu import (
+    TECHNIQUES,
+    AutonomousEmulator,
+    BoardModel,
+    CampaignResult,
+    RC1000,
+    instrument_circuit,
+    run_campaign,
+)
+from repro.faults import FaultClass, SeuFault, exhaustive_fault_list
+from repro.netlist import Netlist, NetlistBuilder
+from repro.rtl import RtlModule
+from repro.sim import Testbench, grade_faults, random_testbench
+from repro.synth import area_of
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutonomousEmulator",
+    "BoardModel",
+    "CampaignResult",
+    "FaultClass",
+    "Netlist",
+    "NetlistBuilder",
+    "RC1000",
+    "RtlModule",
+    "SeuFault",
+    "TECHNIQUES",
+    "Testbench",
+    "__version__",
+    "area_of",
+    "available_circuits",
+    "build_circuit",
+    "exhaustive_fault_list",
+    "grade_faults",
+    "instrument_circuit",
+    "random_testbench",
+    "run_campaign",
+]

@@ -1,0 +1,14 @@
+"""Benchmark circuits.
+
+* :mod:`repro.circuits.itc99` — re-implementations of ITC'99 circuits in
+  our RTL layer (b01/b02/b03/b06/b09 FSMs and the Viper-style b14 the
+  paper's evaluation uses).
+* :mod:`repro.circuits.generators` — parametric synthetic circuits for
+  sweeps (counter banks, LFSRs, pipelines, FSM grids).
+* :mod:`repro.circuits.registry` — name-based lookup used by examples and
+  benchmarks.
+"""
+
+from repro.circuits.registry import available_circuits, build_circuit
+
+__all__ = ["available_circuits", "build_circuit"]

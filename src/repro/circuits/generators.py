@@ -1,0 +1,157 @@
+"""Parametric synthetic circuits.
+
+The crossover experiment (paper's in-text claim C3: state-scan wins when
+testbench cycles exceed the flip-flop count) needs circuits whose flip-flop
+count is a free parameter; these generators produce families of realistic
+structures at any size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ElaborationError
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux, reduce_xor
+from repro.util.bitops import clog2
+
+
+def build_counter_bank(num_counters: int = 4, width: int = 8) -> Netlist:
+    """A bank of enabled counters with a comparator tree.
+
+    FF count = ``num_counters * width``. Counters only change when
+    enabled, so many upsets persist (latent-heavy fault profile).
+    """
+    if num_counters < 1 or width < 2:
+        raise ElaborationError("counter bank needs >=1 counters of width >=2")
+    m = RtlModule(f"ctrbank_{num_counters}x{width}")
+    enables = [m.input(f"en{i}", 1) for i in range(num_counters)]
+    counters = [
+        m.register(f"ctr{i}", width, init=i % (1 << width))
+        for i in range(num_counters)
+    ]
+    one = const(width, 1)
+    for counter, enable in zip(counters, enables):
+        m.next(counter, mux(enable[0], counter, counter + one))
+    # Outputs: low bits of each counter + pairwise equality flags.
+    for index, counter in enumerate(counters):
+        m.output(f"low{index}", counter[0:2])
+    for index in range(num_counters - 1):
+        m.output(f"eq{index}", counters[index] == counters[index + 1])
+    return m.elaborate()
+
+
+def build_lfsr(width: int = 16) -> Netlist:
+    """A Galois-style LFSR with a parity output.
+
+    FF count = ``width``. Every state bit shifts through the feedback
+    path, so upsets rarely vanish — failure-heavy fault profile.
+    """
+    if width < 4:
+        raise ElaborationError("lfsr width must be >= 4")
+    m = RtlModule(f"lfsr_{width}")
+    seed_in = m.input("seed_in", 1)
+    state = m.register("state", width, init=1)
+    feedback = state[width - 1] ^ seed_in
+    # Taps at fixed small offsets (maximal polynomials differ per width;
+    # any dense feedback serves the purpose here).
+    shifted = cat(feedback, state[0 : width - 1])
+    tapped = shifted ^ cat(
+        const(2, 0), state[width - 1].zext(width - 2)
+    )
+    m.next(state, tapped)
+    m.output("serial", state[width - 1])
+    m.output("parity", reduce_xor(state))
+    return m.elaborate()
+
+
+def build_pipeline(stages: int = 4, width: int = 8) -> Netlist:
+    """A feed-forward arithmetic pipeline.
+
+    FF count = ``stages * width``. Data flushes through in ``stages``
+    cycles, so every upset either reaches an output quickly (failure) or
+    is flushed out (silent) — the profile where time-mux early termination
+    shines.
+    """
+    if stages < 1 or width < 2:
+        raise ElaborationError("pipeline needs >=1 stages of width >=2")
+    m = RtlModule(f"pipe_{stages}x{width}")
+    data = m.input("data", width)
+    registers = [m.register(f"stage{i}", width, init=0) for i in range(stages)]
+    previous = data
+    for index, register in enumerate(registers):
+        if index % 2 == 0:
+            m.next(register, previous + const(width, (index + 1) % (1 << width)))
+        else:
+            m.next(register, previous ^ cat(previous[1:width], previous[0]))
+        previous = register
+    m.output("result", registers[-1])
+    return m.elaborate()
+
+
+def build_fsm_grid(num_machines: int = 4, state_bits: int = 3) -> Netlist:
+    """A row of coupled FSMs: each machine's advance is gated by its left
+    neighbour, giving long fault-propagation chains (latent-prone).
+
+    FF count = ``num_machines * state_bits``.
+    """
+    if num_machines < 1 or state_bits < 2:
+        raise ElaborationError("fsm grid needs >=1 machines of >=2 state bits")
+    m = RtlModule(f"fsmgrid_{num_machines}x{state_bits}")
+    step = m.input("step", 1)
+    machines = [
+        m.register(f"fsm{i}", state_bits, init=0) for i in range(num_machines)
+    ]
+    one = const(state_bits, 1)
+    gate = step
+    for index, machine in enumerate(machines):
+        advance = gate[0] if index == 0 else (gate & step)[0]
+        m.next(machine, mux(advance, machine, machine + one))
+        gate = machine == const(state_bits, (1 << state_bits) - 1)
+    m.output("done", gate)
+    m.output("tip", machines[-1])
+    return m.elaborate()
+
+
+def build_scaled_processor(ff_budget: int) -> Netlist:
+    """A b14-flavoured datapath sized to roughly ``ff_budget`` flip-flops.
+
+    Used by sweeps that vary circuit size while keeping a processor-like
+    fault profile: an accumulator, a rotating register file and an FSM,
+    with widths derived from the budget.
+    """
+    if ff_budget < 16:
+        raise ElaborationError("scaled processor needs a budget of >= 16 flops")
+    # Budget split: 2 wide registers + file of 4 + pc + 3-bit state.
+    width = max(4, ff_budget // 8)
+    pc_width = max(4, clog2(max(16, width * 4)))
+    m = RtlModule(f"proc_{ff_budget}")
+    data_in = m.input("data_in", width)
+    acc = m.register("acc", width, init=0)
+    breg = m.register("breg", width, init=0)
+    file_registers = [m.register(f"r{i}", width, init=0) for i in range(4)]
+    pc = m.register("pc", pc_width, init=0)
+    state = m.register("state", 3, init=0)
+
+    fetch = state == const(3, 0)
+    execute = state == const(3, 1)
+    write = state == const(3, 2)
+    m.next(
+        state,
+        mux(fetch[0], mux(execute[0], const(3, 0), const(3, 2)), const(3, 1)),
+    )
+    opcode = data_in[0:2]
+    m.next(pc, mux(fetch[0], pc, pc + const(pc_width, 1)))
+    alu = mux(
+        opcode[0],
+        mux(opcode[1], acc ^ breg, acc + breg),
+        mux(opcode[1], acc - breg, acc & breg),
+    )
+    m.next(acc, mux(execute[0], acc, alu))
+    m.next(breg, mux((execute & (data_in[2] == const(1, 1)))[0], breg, data_in))
+    file_select = data_in[width - 2 : width]
+    for index, register in enumerate(file_registers):
+        select = write & (file_select == const(2, index))
+        m.next(register, mux(select[0], register, acc))
+    m.output("acc_out", acc[0 : min(width, 8)])
+    m.output("pc_out", pc[0 : min(pc_width, 8)])
+    m.output("flag", file_registers[0] == file_registers[1])
+    return m.elaborate()

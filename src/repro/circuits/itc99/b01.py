@@ -1,0 +1,48 @@
+"""b01 — serial flow comparator (2 inputs, 2 outputs, 5 flip-flops).
+
+An FSM that watches two serial bit streams and flags when the running
+difference between them overflows a small window. Matches the documented
+b01 interface: inputs ``line1``/``line2``, outputs ``outp``/``overflw``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, const, mux
+
+
+def build_b01() -> Netlist:
+    """Build the b01-style serial flow comparator."""
+    m = RtlModule("b01")
+    line1 = m.input("line1", 1)
+    line2 = m.input("line2", 1)
+
+    # 3-bit state counter tracks the signed difference of the two streams
+    # (biased at 4); 2 output registers.
+    diff = m.register("diff", 3, init=4 & 7)
+    outp = m.register("outp", 1, init=0)
+    overflw = m.register("overflw", 1, init=0)
+
+    one = const(3, 1)
+    up = line1 & ~line2  # stream 1 pulled ahead
+    down = line2 & ~line1  # stream 2 pulled ahead
+
+    inc = diff + one
+    dec = diff - one
+    stay = diff
+
+    next_diff = mux(up[0], mux(down[0], stay, dec), inc)
+
+    at_top = diff == const(3, 7)
+    at_bottom = diff == const(3, 0)
+    overflow_now = (at_top & up) | (at_bottom & down)
+
+    # On overflow, recentre the window.
+    m.next(diff, mux(overflow_now[0], next_diff, const(3, 4)))
+    # outp mirrors whether the streams agreed this cycle.
+    m.next(outp, ~(line1 ^ line2))
+    m.next(overflw, overflow_now)
+
+    m.output("outp", outp)
+    m.output("overflw", overflw)
+    return m.elaborate()

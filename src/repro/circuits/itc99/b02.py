@@ -1,0 +1,37 @@
+"""b02 — BCD serial recogniser (1 input, 1 output, 4 flip-flops).
+
+Accepts a serial stream of bits (MSB first, 4 bits per digit) and raises
+``u`` when the completed digit is a valid BCD code (0..9). Matches the
+documented b02 interface: input ``linea``, output ``u``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux
+
+
+def build_b02() -> Netlist:
+    """Build the b02-style BCD recogniser."""
+    m = RtlModule("b02")
+    linea = m.input("linea", 1)
+
+    # 2-bit phase counter + 2-bit partial shift: 4 flops total, like b02.
+    phase = m.register("phase", 2, init=0)
+    shift = m.register("shift", 2, init=0)
+
+    m.next(phase, phase + const(2, 1))
+
+    # Shift the incoming bit into the 2-bit window (enough to detect the
+    # BCD-invalid prefixes 101x and 11xx at the right phases).
+    m.next(shift, cat(shift[1], linea))
+
+    # A digit is invalid when its first bit is 1 and (second bit is 1 or
+    # third bit is 1): values 10..15. We track that with the window.
+    first_bit_one = shift[1]
+    second_or_third = shift[0] | linea
+    invalid = first_bit_one & second_or_third
+
+    digit_done = phase == const(2, 3)
+    m.output("u", digit_done & ~invalid)
+    return m.elaborate()

@@ -1,0 +1,92 @@
+"""b03 — resource arbiter (4 inputs, 4 outputs, 30 flip-flops).
+
+Four requesters compete for one resource; requests are queued in a small
+FIFO and grants rotate with round-robin priority. Matches the documented
+b03 interface shape: request inputs ``request0..3``, grant outputs packed
+as ``grant[0..3]``.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux, reduce_or
+
+
+def build_b03() -> Netlist:
+    """Build the b03-style round-robin arbiter with request queue."""
+    m = RtlModule("b03")
+    requests = [m.input(f"request{i}", 1) for i in range(4)]
+
+    # 30 flops: 4-deep x 4-wide FIFO (16) + head/tail pointers (2x2) +
+    # grant register (4) + rotating priority (2) + occupancy counter (3)
+    # + busy flag (1).
+    fifo = [m.register(f"fifo{i}", 4, init=0) for i in range(4)]
+    head = m.register("head", 2, init=0)
+    tail = m.register("tail", 2, init=0)
+    grant = m.register("grant", 4, init=0)
+    priority = m.register("priority", 2, init=0)
+    count = m.register("count", 3, init=0)
+    busy = m.register("busy", 1, init=0)
+
+    request_word = cat(requests[0], requests[1], requests[2], requests[3])
+    any_request = reduce_or(request_word)
+
+    full = count == const(3, 4)
+    empty = count == const(3, 0)
+
+    push = any_request & ~full
+    pop = ~empty & ~busy
+
+    # FIFO write at tail.
+    for index, slot in enumerate(fifo):
+        write_here = push & (tail == const(2, index))
+        m.next(slot, mux(write_here[0], slot, request_word))
+
+    # FIFO read at head: one-hot select of the head slot.
+    head_value = mux(
+        head[1],
+        mux(head[0], fifo[0], fifo[1]),
+        mux(head[0], fifo[2], fifo[3]),
+    )
+
+    one2 = const(2, 1)
+    m.next(tail, mux(push[0], tail, tail + one2))
+    m.next(head, mux(pop[0], head, head + one2))
+
+    one3 = const(3, 1)
+    count_up = count + one3
+    count_down = count - one3
+    m.next(
+        count,
+        mux(
+            push[0],
+            mux(pop[0], count, count_down),
+            mux(pop[0], count_up, count),
+        ),
+    )
+
+    # Round-robin: rotate the popped request word by the priority counter
+    # and grant the lowest set bit of the rotated word, then rotate back.
+    rotated = mux(
+        priority[1],
+        mux(priority[0], head_value, cat(head_value[1:4], head_value[0])),
+        mux(
+            priority[0],
+            cat(head_value[2:4], head_value[0:2]),
+            cat(head_value[3], head_value[0:3]),
+        ),
+    )
+    lowest = rotated & ((~rotated) + const(4, 1))  # isolate lowest set bit
+    unrotated = mux(
+        priority[1],
+        mux(priority[0], lowest, cat(lowest[3], lowest[0:3])),
+        mux(priority[0], cat(lowest[2:4], lowest[0:2]), cat(lowest[1:4], lowest[0])),
+    )
+
+    m.next(grant, mux(pop[0], const(4, 0), unrotated))
+    m.next(priority, mux(pop[0], priority, priority + one2))
+    # Resource is held for one cycle after a grant.
+    m.next(busy, mux(busy[0], pop, const(1, 0)))
+
+    m.output("grant", grant)
+    return m.elaborate()

@@ -1,0 +1,82 @@
+"""b06 — interrupt handler (2 inputs, 6 outputs, 9 flip-flops).
+
+A controller FSM that reacts to two interrupt lines with different
+priorities, acknowledges, and drives a small control-word output. Matches
+the documented b06 interface shape: inputs ``eql``/``uscite``-style
+control lines, a 6-bit output word.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux
+
+
+def build_b06() -> Netlist:
+    """Build the b06-style interrupt handler."""
+    m = RtlModule("b06")
+    irq_high = m.input("cont_eql", 1)
+    irq_low = m.input("cont_uscite", 1)
+
+    # 9 flops: 3-bit FSM state, 2 pending latches, 4-bit output register.
+    state = m.register("state", 3, init=0)
+    pending_high = m.register("pending_high", 1, init=0)
+    pending_low = m.register("pending_low", 1, init=0)
+    out_word = m.register("out_word", 4, init=0)
+
+    IDLE, ACK_H, SERVE_H, ACK_L, SERVE_L, COOL = (
+        const(3, 0),
+        const(3, 1),
+        const(3, 2),
+        const(3, 3),
+        const(3, 4),
+        const(3, 5),
+    )
+
+    in_idle = state == IDLE
+    in_ack_h = state == ACK_H
+    in_serve_h = state == SERVE_H
+    in_ack_l = state == ACK_L
+    in_serve_l = state == SERVE_L
+    in_cool = state == COOL
+
+    # Pending latches capture pulses; cleared when service starts.
+    m.next(pending_high, (pending_high | irq_high) & ~in_ack_h)
+    m.next(pending_low, (pending_low | irq_low) & ~in_ack_l)
+
+    take_high = in_idle & (pending_high | irq_high)
+    take_low = in_idle & ~(pending_high | irq_high) & (pending_low | irq_low)
+
+    after_idle = mux(
+        take_high[0], mux(take_low[0], IDLE, ACK_L), ACK_H
+    )
+    next_state = mux(
+        in_idle[0],
+        mux(
+            in_ack_h[0],
+            mux(
+                in_serve_h[0],
+                mux(
+                    in_ack_l[0],
+                    mux(in_serve_l[0], mux(in_cool[0], IDLE, IDLE), COOL),
+                    SERVE_L,
+                ),
+                COOL,
+            ),
+            SERVE_H,
+        ),
+        after_idle,
+    )
+    m.next(state, next_state)
+
+    # Output register encodes what is being serviced.
+    served = mux(
+        in_serve_h[0],
+        mux(in_serve_l[0], mux(in_cool[0], out_word, const(4, 1)), const(4, 6)),
+        const(4, 12),
+    )
+    m.next(out_word, served)
+
+    m.output("ackn", cat(in_ack_h, in_ack_l))
+    m.output("usc", out_word)
+    return m.elaborate()

@@ -1,0 +1,40 @@
+"""b09 — serial-to-serial converter (1 input, 1 output, 28 flip-flops).
+
+Receives a serial word, re-times it and retransmits it with a recomputed
+parity bit — a shift-register-heavy circuit (like the original b09), which
+gives it very different fault-latency behaviour from FSM-dominated
+circuits: most upsets get shifted out and become failures or vanish fast.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux, reduce_xor
+
+
+def build_b09() -> Netlist:
+    """Build the b09-style serial converter."""
+    m = RtlModule("b09")
+    x = m.input("x", 1)
+
+    # 28 flops: 12-bit receive shift register, 12-bit transmit shift
+    # register, 4-bit bit counter.
+    rx = m.register("rx", 12, init=0)
+    tx = m.register("tx", 12, init=0)
+    count = m.register("count", 4, init=0)
+
+    word_done = count == const(4, 11)
+    m.next(count, mux(word_done[0], count + const(4, 1), const(4, 0)))
+
+    # Receive: shift in continuously.
+    m.next(rx, cat(rx[1:12], x))
+
+    # Transmit: reload from rx (with parity in the MSB) at word boundary,
+    # otherwise shift out.
+    parity = reduce_xor(rx[0:11])
+    reloaded = cat(rx[0:11], parity)
+    shifted = cat(tx[1:12], const(1, 0))
+    m.next(tx, mux(word_done[0], shifted, reloaded))
+
+    m.output("y", tx[0])
+    return m.elaborate()

@@ -1,0 +1,57 @@
+"""Name-based circuit lookup for examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.netlist.netlist import Netlist
+
+_REGISTRY: Dict[str, Callable[[], Netlist]] = {}
+
+
+def _register(name: str, factory: Callable[[], Netlist]) -> None:
+    _REGISTRY[name] = factory
+
+
+def _populate() -> None:
+    if _REGISTRY:
+        return
+    from repro.circuits import generators
+    from repro.circuits.itc99 import (
+        build_b01,
+        build_b02,
+        build_b03,
+        build_b06,
+        build_b09,
+        build_b14,
+    )
+
+    _register("b01", build_b01)
+    _register("b02", build_b02)
+    _register("b03", build_b03)
+    _register("b06", build_b06)
+    _register("b09", build_b09)
+    _register("b14", build_b14)
+    _register("counter_bank", generators.build_counter_bank)
+    _register("lfsr", generators.build_lfsr)
+    _register("pipeline", generators.build_pipeline)
+    _register("fsm_grid", generators.build_fsm_grid)
+
+
+def available_circuits() -> List[str]:
+    """Names accepted by :func:`build_circuit`."""
+    _populate()
+    return sorted(_REGISTRY)
+
+
+def build_circuit(name: str) -> Netlist:
+    """Build a registered circuit by name."""
+    _populate()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
+        ) from None
+    return factory()

@@ -1,0 +1,47 @@
+"""The autonomous emulation system — the paper's core contribution.
+
+Subpackages/modules:
+
+* :mod:`repro.emu.instrument` — the three fault-injection instrumentation
+  transforms (mask-scan, state-scan, time-multiplexed / Figure 1).
+* :mod:`repro.emu.controller` — generates the on-FPGA emulation controller
+  as a real netlist (its size scales with flop count, testbench length and
+  I/O width, as the paper notes).
+* :mod:`repro.emu.ram` — emulation RAM layout (stimuli, expected outputs,
+  faulty states, classification results).
+* :mod:`repro.emu.board` — board model (clock, RAM, host-link latencies);
+  the Celoxica RC1000 profile used by the paper.
+* :mod:`repro.emu.campaign` — cycle-accurate campaign engines: the
+  per-technique protocols that turn grading outcomes into FPGA cycle
+  counts and emulation times.
+* :mod:`repro.emu.hostlink` — the host-driven emulation baseline [Civera
+  et al. 2001] and the software fault-simulation baseline.
+* :mod:`repro.emu.system` — :class:`AutonomousEmulator`, the facade tying
+  everything together.
+"""
+
+from repro.emu.board import BoardModel, RC1000
+from repro.emu.campaign import CampaignResult, run_campaign
+from repro.emu.hostlink import HostLinkModel, SoftwareFaultSimModel
+from repro.emu.instrument import (
+    TECHNIQUES,
+    InstrumentedCircuit,
+    instrument_circuit,
+)
+from repro.emu.ram import RamLayout, ram_layout_for
+from repro.emu.system import AutonomousEmulator, SynthesisSummary
+
+__all__ = [
+    "AutonomousEmulator",
+    "BoardModel",
+    "CampaignResult",
+    "HostLinkModel",
+    "InstrumentedCircuit",
+    "RC1000",
+    "RamLayout",
+    "SoftwareFaultSimModel",
+    "SynthesisSummary",
+    "TECHNIQUES",
+    "instrument_circuit",
+    "ram_layout_for",
+]

@@ -1,0 +1,49 @@
+"""Emulation board models.
+
+The paper runs on a Celoxica RC1000 (Xilinx Virtex-2000E, 8 MB onboard
+SRAM, 25 MHz emulation clock, PCI host interface). :class:`BoardModel`
+captures the parameters the timing and RAM models need; absolute paper
+times are cycle counts divided by the board clock, so the clock frequency
+is the only knob that affects Table 2's absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.area import DeviceModel, VIRTEX_2000E
+
+
+@dataclass(frozen=True)
+class BoardModel:
+    """One emulation board.
+
+    ``pci_transaction_us`` is the round-trip cost of one host<->board
+    interaction (command or readback); ``pci_bandwidth_mbps`` the bulk
+    transfer rate. Both only matter for the *host-driven* baseline and the
+    start/end transfers of the autonomous system.
+    """
+
+    name: str
+    clock_hz: float
+    device: DeviceModel
+    board_ram_kbits: float
+    pci_transaction_us: float = 40.0
+    pci_bandwidth_mbps: float = 33.0
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert an FPGA cycle count to seconds at the board clock."""
+        return cycles / self.clock_hz
+
+    def transfer_seconds(self, kbits: float) -> float:
+        """Bulk-transfer time for ``kbits`` over the host link."""
+        return (kbits * 1000.0) / (self.pci_bandwidth_mbps * 1e6)
+
+
+#: The paper's board: Celoxica RC1000 with a Virtex-2000E and 8 MB SRAM.
+RC1000 = BoardModel(
+    name="Celoxica RC1000",
+    clock_hz=25e6,
+    device=VIRTEX_2000E,
+    board_ram_kbits=8 * 1024 * 8.0,  # 8 MB expressed in kbits
+)

@@ -1,0 +1,202 @@
+"""Cycle-accurate campaign engines.
+
+Each engine models one technique's hardware protocol *per fault*, using
+the functional oracle (:func:`repro.sim.parallel.grade_faults`) for the
+circuit behaviour — which cycle the fault first corrupts an output
+(``fail``), and which cycle its effect disappears (``vanish``). The engine
+then counts exactly the FPGA clock cycles the autonomous controller would
+spend, which is what the paper's Table 2 reports (time = cycles / 25 MHz).
+
+Protocols (N = flip-flops, T = testbench cycles, fault injected at t):
+
+* **mask-scan** — golden prologue ``T``; per fault: 2 cycles of mask
+  programming (global clear + addressed set), replay from cycle 0 with
+  the on-chip expected-output comparator, stop at ``min(fail+1, T)``,
+  1 cycle verdict write. Silent vs latent comes from the final-state
+  comparator (combinational, no extra cycles).
+* **state-scan** — golden prologue ``T`` (streaming per-cycle states to
+  RAM); per fault: ``N`` scan-in cycles, 1 parallel load, run the tail
+  ``min(fail+1, T) - t``, 1 verdict write (the final-state serial compare
+  overlaps the next fault's scan-in). Worse than mask-scan exactly when
+  ``N`` dominates the average replay length — the paper's b14 case.
+* **time-multiplexed** — no RAM prologue (the golden run happens on-chip,
+  interleaved); the golden state is walked across the testbench once
+  (2 cycles per testbench cycle, including the ``save_state``
+  checkpoint); per fault: 2 cycles mask programming + 1 ``load_state``
+  (which injects), then 2 FPGA cycles per emulated cycle until the fault
+  is classified: ``stop = min(fail, vanish, T-1)``. The ``vanish`` term —
+  detecting that the fault effect disappeared — is the early exit the
+  other techniques cannot take, and the source of the order-of-magnitude
+  win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.emu.board import RC1000, BoardModel
+from repro.emu.ram import RamLayout, ram_layout_for
+from repro.emu.timing import CycleBreakdown, EmulationTiming
+from repro.errors import CampaignError
+from repro.faults.classify import FaultClass
+from repro.faults.dictionary import FaultDictionary
+from repro.faults.model import SeuFault, exhaustive_fault_list
+from repro.netlist.netlist import Netlist
+from repro.sim.parallel import FaultGradingResult, grade_faults
+from repro.sim.vectors import Testbench
+
+#: fixed per-fault overhead cycles
+MASK_PROGRAM_CYCLES = 2  # global clear + addressed set
+VERDICT_WRITE_CYCLES = 1
+STATE_LOAD_CYCLES = 1
+
+
+@dataclass
+class CampaignResult:
+    """Everything one emulated campaign produces."""
+
+    technique: str
+    circuit_name: str
+    num_faults: int
+    num_cycles: int
+    breakdown: CycleBreakdown
+    timing: EmulationTiming
+    dictionary: FaultDictionary
+    ram: RamLayout
+
+    @property
+    def total_cycles(self) -> int:
+        return self.breakdown.total
+
+    def summary(self) -> str:
+        """Text summary in the paper's Table 2 terms."""
+        counts = self.dictionary.counts()
+        return (
+            f"{self.technique} on {self.circuit_name}: "
+            f"{self.num_faults} faults, {self.total_cycles:,} cycles -> "
+            f"{self.timing.milliseconds:.2f} ms "
+            f"({self.timing.us_per_fault:.2f} us/fault) | "
+            f"F/L/S = {counts[FaultClass.FAILURE]}/"
+            f"{counts[FaultClass.LATENT]}/{counts[FaultClass.SILENT]}"
+        )
+
+
+def run_campaign(
+    netlist: Netlist,
+    testbench: Testbench,
+    technique: str,
+    board: BoardModel = RC1000,
+    faults: Optional[Sequence[SeuFault]] = None,
+    oracle: Optional[FaultGradingResult] = None,
+    scan_chains: int = 1,
+) -> CampaignResult:
+    """Run one autonomous-emulation campaign and account its cycles.
+
+    ``faults`` defaults to the complete single-fault set (every flop at
+    every cycle). A precomputed ``oracle`` may be passed when several
+    techniques are evaluated on the same circuit/testbench (the oracle is
+    technique-independent). ``scan_chains`` (state-scan only) splits the
+    shadow register into parallel chains, dividing the per-fault scan-in
+    cost — our extension beyond the paper's single chain.
+    """
+    if faults is None:
+        faults = exhaustive_fault_list(netlist, testbench.num_cycles)
+    if oracle is None:
+        oracle = grade_faults(netlist, testbench, faults)
+    elif len(oracle.faults) != len(faults):
+        raise CampaignError("oracle does not cover the given fault list")
+    if scan_chains < 1:
+        raise CampaignError("scan_chains must be at least 1")
+
+    if technique == "mask_scan":
+        breakdown = _cycles_mask_scan(oracle, testbench.num_cycles)
+    elif technique == "state_scan":
+        from repro.util.bitops import ceil_div
+
+        scan_cost = ceil_div(netlist.num_ffs, min(scan_chains, netlist.num_ffs))
+        breakdown = _cycles_state_scan(
+            oracle, testbench.num_cycles, scan_cost
+        )
+    elif technique == "time_multiplexed":
+        breakdown = _cycles_time_multiplexed(oracle, testbench.num_cycles)
+    else:
+        raise CampaignError(f"unknown technique {technique!r}")
+
+    ram = ram_layout_for(
+        technique,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        num_flops=netlist.num_ffs,
+        num_cycles=testbench.num_cycles,
+        num_faults=len(faults),
+    )
+    timing = EmulationTiming(
+        cycles=breakdown.total, board=board, num_faults=len(faults)
+    )
+    return CampaignResult(
+        technique=technique,
+        circuit_name=netlist.name,
+        num_faults=len(faults),
+        num_cycles=testbench.num_cycles,
+        breakdown=breakdown,
+        timing=timing,
+        dictionary=oracle.to_dictionary(),
+        ram=ram,
+    )
+
+
+def _stop_cycle(fail: int, num_cycles: int) -> int:
+    """Replay length with the on-chip output comparator: stop one cycle
+    after the first mismatch, or run the whole testbench."""
+    if fail == -1:
+        return num_cycles
+    return min(fail + 1, num_cycles)
+
+
+def _cycles_mask_scan(oracle: FaultGradingResult, num_cycles: int) -> CycleBreakdown:
+    breakdown = CycleBreakdown()
+    breakdown.prologue = num_cycles  # golden run filling the RAM
+    for index, fault in enumerate(oracle.faults):
+        del fault  # replay always starts from cycle 0
+        breakdown.setup += MASK_PROGRAM_CYCLES
+        breakdown.run += _stop_cycle(oracle.fail_cycles[index], num_cycles)
+        breakdown.readback += VERDICT_WRITE_CYCLES
+    return breakdown
+
+
+def _cycles_state_scan(
+    oracle: FaultGradingResult, num_cycles: int, scan_in_cycles: int
+) -> CycleBreakdown:
+    """``scan_in_cycles`` is the per-fault state-insertion cost: the
+    longest chain's length (N for the paper's single chain)."""
+    breakdown = CycleBreakdown()
+    breakdown.prologue = num_cycles  # golden run streaming states to RAM
+    for index, fault in enumerate(oracle.faults):
+        stop = _stop_cycle(oracle.fail_cycles[index], num_cycles)
+        breakdown.setup += scan_in_cycles + STATE_LOAD_CYCLES
+        breakdown.run += stop - fault.cycle
+        breakdown.readback += VERDICT_WRITE_CYCLES
+    return breakdown
+
+
+def _cycles_time_multiplexed(
+    oracle: FaultGradingResult, num_cycles: int
+) -> CycleBreakdown:
+    breakdown = CycleBreakdown()
+    # Walking the golden state across the testbench: one golden phase and
+    # one checkpoint slot per testbench cycle.
+    breakdown.extra["golden_walk"] = 2 * num_cycles
+    for index, fault in enumerate(oracle.faults):
+        fail = oracle.fail_cycles[index]
+        vanish = oracle.vanish_cycles[index]
+        stop_candidates = [num_cycles - 1]
+        if fail != -1:
+            stop_candidates.append(fail)
+        if vanish != -1:
+            stop_candidates.append(vanish)
+        stop = min(stop_candidates)
+        breakdown.setup += MASK_PROGRAM_CYCLES + STATE_LOAD_CYCLES
+        breakdown.run += 2 * (stop - fault.cycle + 1)
+        breakdown.readback += VERDICT_WRITE_CYCLES
+    return breakdown

@@ -1,0 +1,329 @@
+"""Emulation controller netlist generator.
+
+The autonomous system's controller sequences the whole campaign inside the
+FPGA: it addresses RAM, applies stimuli, programs masks / scans states,
+pulses the injection, compares outputs against expected values and writes
+the 2-bit verdict per fault back to RAM. The paper notes its overhead
+"depends on the flip-flop number, test bench cycles and circuit inputs and
+outputs" — which is exactly how the register widths below scale.
+
+The controller is generated as *real RTL* and elaborated/LUT-mapped like
+any other circuit; its area is what Table 1's "Emulator System" rows add
+on top of the modified circuit. (Campaign *timing* is computed by the
+cycle-accurate protocol engines in :mod:`repro.emu.campaign`; the
+controller netlist is the area/structure model of the same protocol.)
+
+Port contract (used when merging controller + instrumented circuit into
+one system netlist):
+
+* inputs: ``start``, ``ram_rdata[w]``, ``obs[i]`` (circuit outputs),
+  technique-specific observation ports (``state_diff`` for time-mux,
+  ``circ_state[i]`` for mask-scan's final-state compare);
+* outputs: ``stim[i]`` (circuit inputs), ``ram_addr``, ``ram_wdata[w]``,
+  ``ram_we``, ``done`` and one output per instrument control port, named
+  exactly like the instrument's control input net.
+"""
+
+from __future__ import annotations
+
+from repro.emu.instrument.base import grid_shape
+from repro.errors import InstrumentationError
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, cat, const, mux, reduce_or
+from repro.rtl.expr import WExpr
+from repro.util.bitops import clog2
+
+
+def build_controller(
+    technique: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_flops: int,
+    num_cycles: int,
+    num_faults: int,
+    ram_words: int,
+    ram_width: int = 32,
+) -> Netlist:
+    """Generate the controller netlist for one technique and campaign."""
+    if technique == "mask_scan":
+        builder = _MaskScanController
+    elif technique == "state_scan":
+        builder = _StateScanController
+    elif technique == "time_multiplexed":
+        builder = _TimeMuxController
+    else:
+        raise InstrumentationError(f"unknown technique {technique!r}")
+    return builder(
+        num_inputs=num_inputs,
+        num_outputs=num_outputs,
+        num_flops=num_flops,
+        num_cycles=num_cycles,
+        num_faults=num_faults,
+        ram_words=ram_words,
+        ram_width=ram_width,
+    ).build()
+
+
+class _ControllerBase:
+    """Shared skeleton: counters, RAM addressing, stimulus register."""
+
+    #: port-name prefix of the matching instrument ("ms", "ss", "tm")
+    prefix = ""
+
+    def __init__(
+        self,
+        num_inputs: int,
+        num_outputs: int,
+        num_flops: int,
+        num_cycles: int,
+        num_faults: int,
+        ram_words: int,
+        ram_width: int,
+    ):
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.num_flops = num_flops
+        self.num_cycles = num_cycles
+        self.num_faults = num_faults
+        self.ram_width = ram_width
+
+        self.cycle_bits = max(1, clog2(num_cycles + 1))
+        self.fault_bits = max(1, clog2(num_faults + 1))
+        self.addr_bits = max(1, clog2(max(2, ram_words)))
+
+        name = f"ctrl.{self.technique_name()}"
+        self.m = RtlModule(name)
+
+    def technique_name(self) -> str:
+        return type(self).__name__.strip("_").lower()
+
+    # ------------------------------------------------------------------
+    def build(self) -> Netlist:
+        m = self.m
+        self.start = m.input("start", 1)
+        self.ram_rdata = m.input("ram_rdata", self.ram_width)
+        self.obs = m.input("obs", self.num_outputs)
+
+        # Common sequencing state.
+        self.fsm = m.register("fsm", 3, init=0)
+        self.cycle = m.register("cycle", self.cycle_bits, init=0)
+        self.fault = m.register("fault", self.fault_bits, init=0)
+        self.ram_addr = m.register("ram_addr", self.addr_bits, init=0)
+        self.verdict = m.register("verdict", 2, init=0)
+
+        running = self.fsm == const(3, 1)
+        finishing = self.fault == const(self.fault_bits, self.num_faults)
+        m.next(
+            self.fsm,
+            mux(
+                self.start[0],
+                mux(
+                    (running & finishing)[0],
+                    self.fsm,
+                    const(3, 2),
+                ),
+                const(3, 1),
+            ),
+        )
+
+        cycle_wrap = self.cycle == const(self.cycle_bits, self.num_cycles - 1)
+        m.next(
+            self.cycle,
+            mux(
+                running[0],
+                self.cycle,
+                mux(cycle_wrap[0], self.cycle + const(self.cycle_bits, 1),
+                    const(self.cycle_bits, 0)),
+            ),
+        )
+        m.next(
+            self.fault,
+            mux(
+                (running & cycle_wrap)[0],
+                self.fault,
+                self.fault + const(self.fault_bits, 1),
+            ),
+        )
+        m.next(self.ram_addr, self.ram_addr + const(self.addr_bits, 1))
+
+        # Stimuli are applied straight from the RAM data bus (the RC1000
+        # SRAM is synchronous to the emulation clock); no input register.
+        m.output("stim", self._stim_source())
+
+        # Output comparator feeds the verdict.
+        mismatch = self._output_mismatch()
+        m.next(
+            self.verdict,
+            mux(mismatch[0], self.verdict, const(2, 1)),
+        )
+
+        self._technique_logic(running, cycle_wrap, mismatch)
+
+        m.output("ram_addr_out", self.ram_addr)
+        m.output("ram_wdata", self.verdict.zext(self.ram_width))
+        m.output("ram_we", running & cycle_wrap)
+        m.output("done", self.fsm == const(3, 2))
+        return m.elaborate()
+
+    # ------------------------------------------------------------------
+    def _stim_source(self) -> WExpr:
+        """Next stimulus word, assembled from RAM read data."""
+        if self.num_inputs <= self.ram_width:
+            return self.ram_rdata[0 : self.num_inputs]
+        chunks = []
+        remaining = self.num_inputs
+        while remaining > 0:
+            take = min(remaining, self.ram_width)
+            chunks.append(self.ram_rdata[0:take])
+            remaining -= take
+        return cat(*chunks)
+
+    def _expected_outputs(self) -> WExpr:
+        """Expected output word, compared straight off the RAM stream."""
+        if self.num_outputs <= self.ram_width:
+            return self.ram_rdata[0 : self.num_outputs]
+        return cat(
+            *[
+                self.ram_rdata[0 : min(self.ram_width, self.num_outputs - i)]
+                for i in range(0, self.num_outputs, self.ram_width)
+            ]
+        )
+
+    def _output_mismatch(self) -> WExpr:
+        """1 when the circuit outputs differ from expectation."""
+        raise NotImplementedError
+
+    def _technique_logic(self, running, cycle_wrap, mismatch) -> None:
+        """Technique-specific registers, ports and control outputs."""
+        raise NotImplementedError
+
+    # helpers ----------------------------------------------------------
+    def _mask_address_ports(self, prefix: str) -> None:
+        """Row/col address registers driving the instrument's mask
+        decoder, plus set/rst/inject pulses."""
+        m = self.m
+        rows, cols = grid_shape(self.num_flops)
+        row_bits = max(1, clog2(rows))
+        col_bits = max(1, clog2(cols))
+        row_reg = m.register("ff_row", row_bits, init=0)
+        col_reg = m.register("ff_col", col_bits, init=0)
+        # The fault counter's low bits walk the flop grid; registered
+        # address keeps the decoder stable during the injection cycle.
+        m.next(row_reg, self.fault[0:row_bits])
+        col_take = min(col_bits, max(1, self.fault_bits - row_bits))
+        m.next(
+            col_reg,
+            self.fault[row_bits : row_bits + col_take].zext(col_bits),
+        )
+        for bit in range(row_bits):
+            m.output(f"{prefix}_row[{bit}]", row_reg[bit])
+        for bit in range(col_bits):
+            m.output(f"{prefix}_col[{bit}]", col_reg[bit])
+
+        inject_at = m.register("inject_at", self.cycle_bits, init=0)
+        m.next(inject_at, mux(self.start[0], inject_at, self.fault[0 : self.cycle_bits]))
+        inject_now = self.cycle == inject_at
+        m.output(f"{prefix}_set", self.cycle == const(self.cycle_bits, 0))
+        m.output(f"{prefix}_rst", self.fsm == const(3, 0))
+        m.output(f"{prefix}_inject", inject_now)
+
+
+class _MaskScanController(_ControllerBase):
+    """Controller for mask-scan: expected-output compare from RAM plus a
+    golden-final-state register bank for the silent/latent decision."""
+
+    prefix = "ms"
+
+    def technique_name(self) -> str:
+        return "mask_scan"
+
+    def _output_mismatch(self) -> WExpr:
+        expected = self._expected_outputs()
+        return reduce_or(self.obs ^ expected)
+
+    def _technique_logic(self, running, cycle_wrap, mismatch) -> None:
+        m = self.m
+        # Final-state comparator: golden final state captured once during
+        # the prologue (num_flops register bits — the dominant controller
+        # cost the paper's mask-scan system row shows).
+        circ_state = m.input("circ_state", self.num_flops)
+        golden_final = m.register("golden_final", self.num_flops, init=0)
+        in_prologue = self.fsm == const(3, 0)
+        m.next(golden_final, mux(in_prologue[0], golden_final, circ_state))
+        state_clean = golden_final == circ_state
+        m.output("state_clean", state_clean)
+        self._mask_address_ports("ms")
+
+
+class _StateScanController(_ControllerBase):
+    """Controller for state-scan: a scan-bit counter and serial compare —
+    no wide register banks, which is why its controller is the smallest."""
+
+    prefix = "ss"
+
+    def technique_name(self) -> str:
+        return "state_scan"
+
+    def _output_mismatch(self) -> WExpr:
+        expected = self._expected_outputs()
+        return reduce_or(self.obs ^ expected)
+
+    def _technique_logic(self, running, cycle_wrap, mismatch) -> None:
+        m = self.m
+        scan_bits = max(1, clog2(self.num_flops + 1))
+        scan_count = m.register("scan_count", scan_bits, init=0)
+        scanning = scan_count == const(scan_bits, self.num_flops)
+        m.next(
+            scan_count,
+            mux(
+                scanning[0],
+                scan_count + const(scan_bits, 1),
+                const(scan_bits, 0),
+            ),
+        )
+        # Serial state insertion from the RAM stream; the final-state
+        # verdict comes from comparing the scan-out bit against the
+        # golden stream, one bit per cycle (registered accumulator).
+        scan_out_bit = m.input("scan_out_bit", 1)
+        serial_match = m.register("serial_match", 1, init=1)
+        golden_bit = self.ram_rdata[0]
+        m.next(serial_match, serial_match & ~(scan_out_bit ^ golden_bit))
+        m.output("state_clean", serial_match)
+        m.output("ss_si", self.ram_rdata[1])
+        m.output("ss_shift", ~scanning)
+        m.output("ss_load", scanning)
+
+
+class _TimeMuxController(_ControllerBase):
+    """Controller for time-mux: golden-output capture register, phase
+    toggling, and the disappearance detector input."""
+
+    prefix = "tm"
+
+    def technique_name(self) -> str:
+        return "time_multiplexed"
+
+    def _output_mismatch(self) -> WExpr:
+        # Golden outputs are captured on-chip during golden phases and
+        # compared during faulty phases — no expected-output RAM stream.
+        m = self.m
+        phase = m.register("phase", 1, init=0)
+        m.next(phase, ~phase)
+        self.phase = phase
+        golden_out = m.register("golden_out", self.num_outputs, init=0)
+        m.next(golden_out, mux(phase[0], self.obs, golden_out))
+        self.golden_out = golden_out
+        return reduce_or(self.obs ^ golden_out) & phase
+
+    def _technique_logic(self, running, cycle_wrap, mismatch) -> None:
+        m = self.m
+        state_diff = m.input("state_diff", 1)
+        # Fault disappeared: no state difference at the end of a faulty
+        # phase and no failure recorded -> classify silent, stop early.
+        disappeared = ~state_diff & self.phase
+        m.output("fault_disappeared", disappeared)
+        m.output("tm_ena_golden", ~self.phase)
+        m.output("tm_ena_faulty", self.phase)
+        m.output("tm_save_state", cycle_wrap & ~self.phase)
+        m.output("tm_load_state", self.cycle == const(self.cycle_bits, 0))
+        self._mask_address_ports("tm")

@@ -1,0 +1,40 @@
+"""Fault-injection instrumentation transforms.
+
+Each transform takes the circuit under evaluation and returns an
+:class:`InstrumentedCircuit`: a *real netlist* in which every flip-flop
+has been augmented (mask-scan, state-scan) or replaced by the Figure-1
+instrument (time-multiplexed), plus added control ports. Table 1's
+"Modified circuit" rows are produced by LUT-mapping these netlists.
+"""
+
+from repro.emu.instrument.base import InstrumentedCircuit
+from repro.emu.instrument.maskscan import instrument_mask_scan
+from repro.emu.instrument.statescan import instrument_state_scan
+from repro.emu.instrument.timemux import instrument_time_multiplexed
+
+from repro.errors import InstrumentationError
+
+TECHNIQUES = ("mask_scan", "state_scan", "time_multiplexed")
+
+
+def instrument_circuit(netlist, technique: str) -> InstrumentedCircuit:
+    """Apply the named technique's transform to ``netlist``."""
+    if technique == "mask_scan":
+        return instrument_mask_scan(netlist)
+    if technique == "state_scan":
+        return instrument_state_scan(netlist)
+    if technique == "time_multiplexed":
+        return instrument_time_multiplexed(netlist)
+    raise InstrumentationError(
+        f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
+    )
+
+
+__all__ = [
+    "InstrumentedCircuit",
+    "TECHNIQUES",
+    "instrument_circuit",
+    "instrument_mask_scan",
+    "instrument_state_scan",
+    "instrument_time_multiplexed",
+]

@@ -1,0 +1,179 @@
+"""Shared structure for instrumentation transforms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import InstrumentationError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class InstrumentedCircuit:
+    """A circuit prepared for autonomous fault emulation.
+
+    Attributes:
+        technique: ``mask_scan`` / ``state_scan`` / ``time_multiplexed``.
+        netlist: the instrumented netlist (original I/O preserved, control
+            ports added).
+        original: the unmodified circuit.
+        control_inputs: added input nets, by role (e.g. ``"inject"`` ->
+            net name).
+        control_outputs: added output nets, by role (e.g. ``"scan_out"``).
+        flop_order: original flop names in scan/packing order — position
+            ``i`` corresponds to fault model flop index ``i``.
+    """
+
+    technique: str
+    netlist: Netlist
+    original: Netlist
+    control_inputs: Dict[str, str] = field(default_factory=dict)
+    control_outputs: Dict[str, str] = field(default_factory=dict)
+    flop_order: List[str] = field(default_factory=list)
+    num_chains: int = 1  # parallel scan chains (state-scan extension)
+
+    @property
+    def num_original_flops(self) -> int:
+        return len(self.flop_order)
+
+    def control_input(self, role: str) -> str:
+        """Net name of a control input by role; raises for unknown roles."""
+        try:
+            return self.control_inputs[role]
+        except KeyError:
+            raise InstrumentationError(
+                f"{self.technique} has no control input {role!r}; "
+                f"available: {sorted(self.control_inputs)}"
+            ) from None
+
+    def original_output_positions(self) -> List[int]:
+        """Positions of the original circuit's outputs within the
+        instrumented netlist's output list (control outputs come after)."""
+        index_of = {net: pos for pos, net in enumerate(self.netlist.outputs)}
+        return [index_of[net] for net in self.original.outputs]
+
+
+def clone_interface(source: Netlist, name: str) -> Netlist:
+    """Start a new netlist with the same primary inputs as ``source``."""
+    result = Netlist(name)
+    for net in source.inputs:
+        result.add_input(net)
+    return result
+
+
+def copy_combinational(source: Netlist, target: Netlist) -> None:
+    """Copy every gate of ``source`` into ``target`` unchanged.
+
+    Transforms call this first, then re-create flip-flops around the
+    copied logic; gate output nets keep their names so the combinational
+    fabric is bit-identical.
+    """
+    for gate in source.gates.values():
+        target.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output)
+
+
+class Emitter:
+    """Small helper for adding uniquely-named gates to an existing netlist
+    (instrumentation works on netlists directly, not through the builder,
+    because it must weave around pre-existing net names)."""
+
+    def __init__(self, netlist: Netlist, prefix: str):
+        self.netlist = netlist
+        self.prefix = prefix
+        self._counter = 0
+
+    def gate(self, gate_type: str, inputs, output: str = "") -> str:
+        """Add one gate; returns its output net (fresh unless given)."""
+        self._counter += 1
+        name = f"{self.prefix}${gate_type}{self._counter}"
+        out = output or self.netlist.fresh_net(f"{self.prefix}.{gate_type}")
+        self.netlist.add_gate(name, gate_type, list(inputs), out)
+        return out
+
+    def or_tree(self, nets, arity: int = 4) -> str:
+        """Balanced OR reduction (the disappearance/compare trees)."""
+        level = list(nets)
+        if not level:
+            raise InstrumentationError("or_tree over zero nets")
+        while len(level) > 1:
+            next_level = []
+            for start in range(0, len(level), arity):
+                chunk = level[start : start + arity]
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                else:
+                    next_level.append(self.gate("or", chunk))
+            level = next_level
+        return level[0]
+
+
+def grid_shape(count: int) -> tuple:
+    """Rows/cols of the near-square mask-address grid for ``count`` flops."""
+    from repro.util.bitops import ceil_div
+
+    rows = max(1, int(count**0.5))
+    cols = ceil_div(count, rows)
+    return rows, cols
+
+
+def build_mask_address_decoder(
+    emitter: Emitter, count: int, port_prefix: str, enable: str = ""
+):
+    """Add row/column address inputs and decoders for a ``count``-entry
+    mask array.
+
+    Returns ``(select_nets, input_names)``: per-flop select lines (1 when
+    the address points at that flop, gated by ``enable`` when given) and
+    the list of added input nets.
+
+    A two-level row x column decode keeps the per-flop cost at one AND
+    gate — this is what keeps the mask-scan area overhead near the paper's
+    +41 % rather than the cost of a flat 215-way decoder. The enable
+    signal is folded into the row lines so it costs rows, not count, extra
+    gates.
+    """
+    from repro.util.bitops import clog2
+
+    netlist = emitter.netlist
+    rows, cols = grid_shape(count)
+    row_bits = max(1, clog2(rows))
+    col_bits = max(1, clog2(cols))
+
+    added_inputs = []
+    row_addr = []
+    for bit in range(row_bits):
+        net = netlist.add_input(f"{port_prefix}_row[{bit}]")
+        row_addr.append(net)
+        added_inputs.append(net)
+    col_addr = []
+    for bit in range(col_bits):
+        net = netlist.add_input(f"{port_prefix}_col[{bit}]")
+        col_addr.append(net)
+        added_inputs.append(net)
+
+    row_lines = _decode(emitter, row_addr, rows)
+    col_lines = _decode(emitter, col_addr, cols)
+    if enable:
+        row_lines = [emitter.gate("and", [line, enable]) for line in row_lines]
+
+    selects = []
+    for index in range(count):
+        row, col = index % rows, index // rows
+        selects.append(emitter.gate("and", [row_lines[row], col_lines[col]]))
+    return selects, added_inputs
+
+
+def _decode(emitter: Emitter, addr, lines: int):
+    inverted = [emitter.gate("inv", [net]) for net in addr]
+    outputs = []
+    for index in range(lines):
+        terms = [
+            addr[bit] if (index >> bit) & 1 else inverted[bit]
+            for bit in range(len(addr))
+        ]
+        if len(terms) == 1:
+            outputs.append(terms[0])
+        else:
+            outputs.append(emitter.gate("and", terms))
+    return outputs

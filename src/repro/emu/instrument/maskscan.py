@@ -1,0 +1,98 @@
+"""Mask-scan instrumentation.
+
+Derived from the host-driven injector of [Civera et al. 2001] (the paper's
+reference [2]) with the additions that make the system autonomous: every
+circuit flip-flop gets a companion *mask* flip-flop marking it as the
+injection target, and the mask array is written by the on-FPGA controller
+through a row/column address decoder (two cycles per fault: clear + set)
+instead of by the host.
+
+Per original flop ``i`` the transform adds:
+
+* a mask flop ``mask$i`` with ``d = (q | set_here) & ~mask_rst``;
+* the injection gate ``q_eff = q_raw XOR (mask & inject)`` — consumers of
+  the original q net see ``q_eff``, so pulsing ``inject`` for one cycle
+  while mask bit ``i`` is set flips exactly that flop for that cycle: the
+  SEU bit-flip model in hardware.
+
+Control ports added: ``ms_row/ms_col`` (mask address), ``ms_set``,
+``ms_rst``, ``ms_inject``.
+"""
+
+from __future__ import annotations
+
+from repro.emu.instrument.base import (
+    Emitter,
+    InstrumentedCircuit,
+    build_mask_address_decoder,
+    clone_interface,
+    copy_combinational,
+)
+from repro.errors import InstrumentationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+def instrument_mask_scan(original: Netlist) -> InstrumentedCircuit:
+    """Apply the mask-scan transform."""
+    if original.num_ffs == 0:
+        raise InstrumentationError(
+            f"{original.name!r} has no flip-flops; nothing to instrument"
+        )
+    flop_order = original.ff_names()
+    count = len(flop_order)
+
+    netlist = clone_interface(original, f"{original.name}.mask_scan")
+    copy_combinational(original, netlist)
+    emitter = Emitter(netlist, "ms")
+
+    set_enable = netlist.add_input("ms_set")
+    selects, address_inputs = build_mask_address_decoder(
+        emitter, count, "ms", enable=set_enable
+    )
+    reset_all = netlist.add_input("ms_rst")
+    inject = netlist.add_input("ms_inject")
+    not_reset = emitter.gate("inv", [reset_all])
+
+    mask_qs = []
+    for index, name in enumerate(flop_order):
+        dff = original.dffs[name]
+        raw_q = f"{dff.q}#raw"
+
+        # circuit flop, q renamed so we can interpose the injection XOR
+        netlist.add_dff(name, dff.d, raw_q, dff.init)
+
+        # mask flop: set when addressed, cleared by the global reset
+        mask_q = netlist.fresh_net(f"ms.mask[{index}]")
+        held_or_set = emitter.gate("or", [mask_q, selects[index]])
+        mask_d = emitter.gate("and", [held_or_set, not_reset])
+        netlist.add_dff(f"ms$mask[{index}]", mask_d, mask_q, 0)
+        mask_qs.append(mask_q)
+
+        # inject: consumers of the original q net see the flipped value
+        flip = emitter.gate("and", [mask_q, inject])
+        emitter.gate("xor", [raw_q, flip], output=dff.q)
+
+    for net in original.outputs:
+        netlist.add_output(net)
+    # Expose the OR of all mask bits so the controller (and tests) can
+    # check that exactly the intended mask survives a program sequence.
+    any_mask = emitter.or_tree(mask_qs)
+    netlist.add_output(emitter.gate("buf", [any_mask], output="ms_mask_armed"))
+
+    validate_netlist(netlist)
+    control_inputs = {
+        "set": set_enable,
+        "reset": reset_all,
+        "inject": inject,
+    }
+    for net in address_inputs:
+        control_inputs[net] = net
+    return InstrumentedCircuit(
+        technique="mask_scan",
+        netlist=netlist,
+        original=original,
+        control_inputs=control_inputs,
+        control_outputs={"mask_armed": "ms_mask_armed"},
+        flop_order=flop_order,
+    )

@@ -1,0 +1,122 @@
+"""State-scan instrumentation.
+
+Instead of marking a flop and replaying from cycle zero, state-scan
+inserts the *entire faulty state* — the golden state at the injection
+cycle with one bit flipped, precomputed during the golden run and stored
+in emulation RAM — directly into the circuit, and runs only the remaining
+testbench cycles.
+
+Per original flop ``i`` the transform adds:
+
+* a shadow scan flop ``sscan$i`` forming one long shift chain
+  (``ss_si -> ... -> ss_so``): the controller shifts the next faulty
+  state in while the circuit is paused;
+* a parallel-load mux in front of the circuit flop:
+  ``d = load_state ? shadow_q : D``.
+
+This doubles the flip-flop count and adds two mux-class gates per flop —
+the structure behind the paper's Table 1 state-scan row (433 FFs / +40 %
+LUTs on b14).
+
+Control ports added: ``ss_si``, ``ss_shift``, ``ss_load``; output
+``ss_so``.
+"""
+
+from __future__ import annotations
+
+from repro.emu.instrument.base import (
+    Emitter,
+    InstrumentedCircuit,
+    clone_interface,
+    copy_combinational,
+)
+from repro.errors import InstrumentationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+def chain_of(flop_index: int, num_flops: int, num_chains: int) -> tuple:
+    """Map a flop position to its (chain, position-within-chain).
+
+    Flops are split into ``num_chains`` contiguous chains; the last chain
+    may be shorter. Scan-in time is the longest chain's length,
+    ``ceil(num_flops / num_chains)``.
+    """
+    from repro.util.bitops import ceil_div
+
+    chain_length = ceil_div(num_flops, num_chains)
+    return flop_index // chain_length, flop_index % chain_length
+
+
+def instrument_state_scan(
+    original: Netlist, num_chains: int = 1
+) -> InstrumentedCircuit:
+    """Apply the state-scan transform.
+
+    ``num_chains`` splits the shadow register into parallel scan chains —
+    an extension beyond the paper (which uses one chain): scan-in time
+    drops to ``ceil(N / num_chains)`` cycles per fault at the cost of one
+    extra scan-in port (and RAM port bit) per chain. The campaign engine
+    and protocol driver accept the same parameter.
+    """
+    if original.num_ffs == 0:
+        raise InstrumentationError(
+            f"{original.name!r} has no flip-flops; nothing to instrument"
+        )
+    if num_chains < 1:
+        raise InstrumentationError("num_chains must be at least 1")
+    flop_order = original.ff_names()
+    count = len(flop_order)
+    num_chains = min(num_chains, count)
+
+    netlist = clone_interface(
+        original,
+        f"{original.name}.state_scan"
+        + (f"x{num_chains}" if num_chains > 1 else ""),
+    )
+    copy_combinational(original, netlist)
+    emitter = Emitter(netlist, "ss")
+
+    def port(base: str, chain: int) -> str:
+        return base if num_chains == 1 else f"{base}[{chain}]"
+
+    scan_ins = [netlist.add_input(port("ss_si", c)) for c in range(num_chains)]
+    shift = netlist.add_input("ss_shift")
+    load = netlist.add_input("ss_load")
+
+    previous = list(scan_ins)
+    for index, name in enumerate(flop_order):
+        dff = original.dffs[name]
+        chain, _position = chain_of(index, count, num_chains)
+
+        # shadow scan flop: shifts when ss_shift, holds otherwise
+        shadow_q = netlist.fresh_net(f"ss.shadow[{index}]")
+        shadow_d = emitter.gate("mux2", [shift, shadow_q, previous[chain]])
+        netlist.add_dff(f"ss$shadow[{index}]", shadow_d, shadow_q, 0)
+        previous[chain] = shadow_q
+
+        # circuit flop with parallel-load from the shadow chain
+        loaded_d = emitter.gate("mux2", [load, dff.d, shadow_q])
+        netlist.add_dff(name, loaded_d, dff.q, dff.init)
+
+    for net in original.outputs:
+        netlist.add_output(net)
+    control_outputs = {}
+    for chain in range(num_chains):
+        out_net = port("ss_so", chain)
+        netlist.add_output(emitter.gate("buf", [previous[chain]], output=out_net))
+        control_outputs["scan_out" if num_chains == 1 else f"scan_out[{chain}]"] = out_net
+
+    validate_netlist(netlist)
+    control_inputs = {"shift": shift, "load": load}
+    for chain, net in enumerate(scan_ins):
+        control_inputs["scan_in" if num_chains == 1 else f"scan_in[{chain}]"] = net
+    return InstrumentedCircuit(
+        technique="state_scan",
+        netlist=netlist,
+        original=original,
+        control_inputs=control_inputs,
+        control_outputs=control_outputs,
+        flop_order=flop_order,
+        num_chains=num_chains,
+    )

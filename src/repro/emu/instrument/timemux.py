@@ -1,0 +1,127 @@
+"""Time-multiplexed instrumentation — the paper's Figure 1 instrument.
+
+Every circuit flip-flop is replaced by a four-flop instrument:
+
+* **GOLDEN** — runs the fault-free circuit when ``ena_golden`` pulses;
+* **FAULTY** — runs the faulty circuit when ``ena_faulty`` pulses, and is
+  (re)loaded from STATE xor (MASK and inject) when ``load_state`` pulses;
+* **MASK** — marks the injection target (written through the same
+  row/column address decoder as mask-scan);
+* **STATE** — checkpoints the golden state when ``save_state`` pulses, so
+  each new fault starts from the golden state at its injection cycle
+  instead of replaying the testbench from the beginning.
+
+The combinational fabric is shared: an output mux per flop feeds it the
+GOLDEN or FAULTY value depending on the phase, so golden and faulty runs
+alternate on the same logic — *time multiplexing*. An XOR per flop plus an
+OR tree raises ``tm_state_diff`` whenever the two runs differ; the moment
+it falls back to 0 the fault effect has *disappeared* and the controller
+can classify the fault silent without finishing the testbench. This early
+termination is why the technique is the fastest of the three.
+
+Control ports added: ``tm_ena_golden``, ``tm_ena_faulty``,
+``tm_save_state``, ``tm_load_state``, ``tm_inject``, ``tm_row/tm_col``,
+``tm_set``, ``tm_rst``; output ``tm_state_diff``.
+"""
+
+from __future__ import annotations
+
+from repro.emu.instrument.base import (
+    Emitter,
+    InstrumentedCircuit,
+    build_mask_address_decoder,
+    clone_interface,
+    copy_combinational,
+)
+from repro.errors import InstrumentationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+def instrument_time_multiplexed(original: Netlist) -> InstrumentedCircuit:
+    """Apply the time-multiplexed (Figure 1) transform."""
+    if original.num_ffs == 0:
+        raise InstrumentationError(
+            f"{original.name!r} has no flip-flops; nothing to instrument"
+        )
+    flop_order = original.ff_names()
+    count = len(flop_order)
+
+    netlist = clone_interface(original, f"{original.name}.time_multiplexed")
+    copy_combinational(original, netlist)
+    emitter = Emitter(netlist, "tm")
+
+    set_enable = netlist.add_input("tm_set")
+    selects, address_inputs = build_mask_address_decoder(
+        emitter, count, "tm", enable=set_enable
+    )
+    ena_golden = netlist.add_input("tm_ena_golden")
+    ena_faulty = netlist.add_input("tm_ena_faulty")
+    save_state = netlist.add_input("tm_save_state")
+    load_state = netlist.add_input("tm_load_state")
+    inject = netlist.add_input("tm_inject")
+    reset_all = netlist.add_input("tm_rst")
+    not_reset = emitter.gate("inv", [reset_all])
+
+    diff_bits = []
+    for index, name in enumerate(flop_order):
+        dff = original.dffs[name]
+
+        golden_q = netlist.fresh_net(f"tm.golden[{index}]")
+        faulty_q = netlist.fresh_net(f"tm.faulty[{index}]")
+        state_q = netlist.fresh_net(f"tm.state[{index}]")
+        mask_q = netlist.fresh_net(f"tm.mask[{index}]")
+
+        # GOLDEN: advances only during golden phases.
+        golden_d = emitter.gate("mux2", [ena_golden, golden_q, dff.d])
+        netlist.add_dff(f"tm$golden[{index}]", golden_d, golden_q, dff.init)
+
+        # STATE: checkpoints the golden value on save_state.
+        state_d = emitter.gate("mux2", [save_state, state_q, golden_q])
+        netlist.add_dff(f"tm$state[{index}]", state_d, state_q, dff.init)
+
+        # MASK: addressed write, global clear (same array as mask-scan).
+        held_or_set = emitter.gate("or", [mask_q, selects[index]])
+        mask_d = emitter.gate("and", [held_or_set, not_reset])
+        netlist.add_dff(f"tm$mask[{index}]", mask_d, mask_q, 0)
+
+        # FAULTY: runs during faulty phases; on load_state it restarts
+        # from the checkpoint with the masked bit flipped when inject is
+        # raised — the SEU itself.
+        flip = emitter.gate("and", [mask_q, inject])
+        injected_state = emitter.gate("xor", [state_q, flip])
+        faulty_run = emitter.gate("mux2", [ena_faulty, faulty_q, dff.d])
+        faulty_d = emitter.gate("mux2", [load_state, faulty_run, injected_state])
+        netlist.add_dff(f"tm$faulty[{index}]", faulty_d, faulty_q, dff.init)
+
+        # The shared combinational fabric sees golden or faulty values
+        # depending on the phase.
+        emitter.gate("mux2", [ena_faulty, golden_q, faulty_q], output=dff.q)
+
+        diff_bits.append(emitter.gate("xor", [golden_q, faulty_q]))
+
+    for net in original.outputs:
+        netlist.add_output(net)
+    diff_any = emitter.or_tree(diff_bits)
+    netlist.add_output(emitter.gate("buf", [diff_any], output="tm_state_diff"))
+
+    validate_netlist(netlist)
+    control_inputs = {
+        "ena_golden": ena_golden,
+        "ena_faulty": ena_faulty,
+        "save_state": save_state,
+        "load_state": load_state,
+        "inject": inject,
+        "set": set_enable,
+        "reset": reset_all,
+    }
+    for net in address_inputs:
+        control_inputs[net] = net
+    return InstrumentedCircuit(
+        technique="time_multiplexed",
+        netlist=netlist,
+        original=original,
+        control_inputs=control_inputs,
+        control_outputs={"state_diff": "tm_state_diff"},
+        flop_order=flop_order,
+    )

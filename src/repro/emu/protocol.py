@@ -1,0 +1,348 @@
+"""Executable injection protocols on instrumented netlists.
+
+The campaign engines (:mod:`repro.emu.campaign`) count cycles from the
+oracle's observations; this module is the other half of the story: it
+*drives the instrumented netlists themselves* through each technique's
+hardware protocol, clock edge by clock edge, acting as the emulation
+controller. It exists for two reasons:
+
+1. **Verification** — the test suite injects faults through these drivers
+   and checks that the instrumented hardware produces exactly the verdict
+   the functional oracle predicts (hardware == model);
+2. **Fidelity** — it demonstrates that the instrumented netlists are
+   complete, working designs, not just area mock-ups.
+
+The drivers are pure-Python reference implementations and therefore slow;
+production grading goes through :func:`repro.sim.parallel.grade_faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.emu.instrument.base import InstrumentedCircuit, grid_shape
+from repro.errors import CampaignError
+from repro.faults.classify import FaultClass
+from repro.faults.model import SeuFault
+from repro.netlist.netlist import Netlist
+from repro.sim.compile import compile_netlist
+from repro.sim.cycle import CycleSimulator, GoldenTrace, run_golden
+from repro.sim.vectors import Testbench
+
+
+@dataclass
+class ProtocolOutcome:
+    """What one protocol-level injection observed."""
+
+    verdict: FaultClass
+    fail_cycle: int  # first output mismatch, -1 if none
+    emulation_cycles: int  # FPGA clock edges the protocol spent
+
+
+class _Driver:
+    """Shared machinery: builds input words for the instrumented netlist."""
+
+    def __init__(self, instrumented: InstrumentedCircuit, testbench: Testbench):
+        self.instrumented = instrumented
+        self.testbench = testbench
+        self.netlist: Netlist = instrumented.netlist
+        self.compiled = compile_netlist(self.netlist)
+        self._input_position: Dict[str, int] = {
+            net: index for index, net in enumerate(self.netlist.inputs)
+        }
+        self._original_positions = [
+            self._input_position[net] for net in instrumented.original.inputs
+        ]
+        index_of_output = {
+            net: pos for pos, net in enumerate(self.netlist.outputs)
+        }
+        self._original_output_mask = 0
+        self._original_output_positions = []
+        for net in instrumented.original.outputs:
+            self._original_output_positions.append(index_of_output[net])
+        self.golden: GoldenTrace = run_golden(
+            instrumented.original, testbench
+        )
+
+    def input_word(self, cycle_vector: int, controls: Dict[str, int]) -> int:
+        """Pack original stimulus bits + control bits into one word."""
+        word = 0
+        for source_bit, position in enumerate(self._original_positions):
+            if (cycle_vector >> source_bit) & 1:
+                word |= 1 << position
+        for net, value in controls.items():
+            if value:
+                word |= 1 << self._input_position[net]
+        return word
+
+    def original_outputs(self, output_word: int) -> int:
+        """Extract the original circuit's output bits from the
+        instrumented netlist's output word."""
+        value = 0
+        for bit, position in enumerate(self._original_output_positions):
+            if (output_word >> position) & 1:
+                value |= 1 << bit
+        return value
+
+    def mask_address_controls(self, prefix: str, flop_index: int) -> Dict[str, int]:
+        """Row/col address bits selecting ``flop_index`` in the mask grid."""
+        rows, _cols = grid_shape(self.instrumented.num_original_flops)
+        row, col = flop_index % rows, flop_index // rows
+        controls: Dict[str, int] = {}
+        bit = 0
+        while f"{prefix}_row[{bit}]" in self._input_position:
+            controls[f"{prefix}_row[{bit}]"] = (row >> bit) & 1
+            bit += 1
+        bit = 0
+        while f"{prefix}_col[{bit}]" in self._input_position:
+            controls[f"{prefix}_col[{bit}]"] = (col >> bit) & 1
+            bit += 1
+        return controls
+
+
+# ---------------------------------------------------------------------------
+# mask-scan
+# ---------------------------------------------------------------------------
+def drive_mask_scan(
+    instrumented: InstrumentedCircuit,
+    testbench: Testbench,
+    fault: SeuFault,
+    driver: Optional[_Driver] = None,
+) -> ProtocolOutcome:
+    """Execute one mask-scan injection on the instrumented netlist.
+
+    Protocol: clear the mask array, program the target flop's mask bit
+    through the address decoder, replay the testbench from cycle 0 with
+    ``inject`` pulsed at the fault cycle, compare outputs against the
+    golden trace every cycle, and resolve silent/latent from the final
+    state.
+    """
+    if instrumented.technique != "mask_scan":
+        raise CampaignError("drive_mask_scan needs a mask-scan instrument")
+    driver = driver or _Driver(instrumented, testbench)
+    simulator = CycleSimulator(driver.compiled)
+
+    spent = 0
+    # 1. clear the mask array
+    simulator.step(driver.input_word(0, {"ms_rst": 1}))
+    spent += 1
+    # 2. program the target mask bit
+    controls = driver.mask_address_controls("ms", fault.flop_index)
+    controls["ms_set"] = 1
+    simulator.step(driver.input_word(0, controls))
+    spent += 1
+
+    # The two programming steps advanced the circuit flops; restore reset
+    # state (hardware holds the circuit in reset while programming).
+    _reset_circuit_flops(simulator, instrumented)
+
+    fail_cycle = -1
+    for cycle, vector in enumerate(testbench.vectors):
+        inject_now = 1 if cycle == fault.cycle else 0
+        outputs = simulator.step(
+            driver.input_word(vector, {"ms_inject": inject_now})
+        )
+        spent += 1
+        observed = driver.original_outputs(outputs)
+        if observed != driver.golden.outputs[cycle]:
+            fail_cycle = cycle
+            break
+
+    if fail_cycle != -1:
+        return ProtocolOutcome(FaultClass.FAILURE, fail_cycle, spent)
+    # final-state comparator (combinational in hardware)
+    final = _circuit_state(simulator, instrumented)
+    if final == driver.golden.final_state():
+        return ProtocolOutcome(FaultClass.SILENT, -1, spent)
+    return ProtocolOutcome(FaultClass.LATENT, -1, spent)
+
+
+# ---------------------------------------------------------------------------
+# state-scan
+# ---------------------------------------------------------------------------
+def drive_state_scan(
+    instrumented: InstrumentedCircuit,
+    testbench: Testbench,
+    fault: SeuFault,
+    driver: Optional[_Driver] = None,
+) -> ProtocolOutcome:
+    """Execute one state-scan injection on the instrumented netlist.
+
+    Protocol: serially scan the faulty state (golden state at the fault
+    cycle with the target bit flipped) into the shadow chain, pulse
+    ``load`` to parallel-transfer it into the circuit flops, then run the
+    remaining testbench cycles with output compare.
+    """
+    if instrumented.technique != "state_scan":
+        raise CampaignError("drive_state_scan needs a state-scan instrument")
+    driver = driver or _Driver(instrumented, testbench)
+    simulator = CycleSimulator(driver.compiled)
+    count = instrumented.num_original_flops
+    num_chains = instrumented.num_chains
+
+    from repro.emu.instrument.statescan import chain_of
+    from repro.util.bitops import ceil_div
+
+    faulty_state = driver.golden.states[fault.cycle] ^ (1 << fault.flop_index)
+    spent = 0
+    # 1. scan all chains in parallel, deepest chain position first
+    # (shadow[first-of-chain] is nearest its scan-in, so the bit for the
+    # highest-index flop of each chain goes first).
+    chain_length = ceil_div(count, num_chains)
+    chain_bits: dict = {chain: [] for chain in range(num_chains)}
+    for position in range(count):
+        chain, _ = chain_of(position, count, num_chains)
+        chain_bits[chain].append((faulty_state >> position) & 1)
+
+    def si_port(chain: int) -> str:
+        return "ss_si" if num_chains == 1 else f"ss_si[{chain}]"
+
+    for step_index in range(chain_length):
+        controls = {"ss_shift": 1}
+        for chain in range(num_chains):
+            bits = chain_bits[chain]
+            # A bit fed at step s ends up at chain position
+            # (chain_length - 1 - s) after all shifts; short chains get
+            # their padding first so the real bits land at 0..len-1.
+            offset = chain_length - 1 - step_index
+            controls[si_port(chain)] = bits[offset] if offset < len(bits) else 0
+        simulator.step(driver.input_word(0, controls))
+        spent += 1
+    # 2. parallel load into the circuit flops
+    simulator.step(driver.input_word(0, {"ss_load": 1}))
+    spent += 1
+
+    fail_cycle = -1
+    for cycle in range(fault.cycle, testbench.num_cycles):
+        outputs = simulator.step(
+            driver.input_word(testbench.vectors[cycle], {})
+        )
+        spent += 1
+        observed = driver.original_outputs(outputs)
+        if observed != driver.golden.outputs[cycle]:
+            fail_cycle = cycle
+            break
+
+    if fail_cycle != -1:
+        return ProtocolOutcome(FaultClass.FAILURE, fail_cycle, spent)
+    final = _circuit_state(simulator, instrumented)
+    if final == driver.golden.final_state():
+        return ProtocolOutcome(FaultClass.SILENT, -1, spent)
+    return ProtocolOutcome(FaultClass.LATENT, -1, spent)
+
+
+# ---------------------------------------------------------------------------
+# time-multiplexed
+# ---------------------------------------------------------------------------
+def drive_time_mux(
+    instrumented: InstrumentedCircuit,
+    testbench: Testbench,
+    fault: SeuFault,
+    driver: Optional[_Driver] = None,
+) -> ProtocolOutcome:
+    """Execute one time-multiplexed injection on the instrumented netlist.
+
+    Protocol: advance the golden flops to the fault cycle (golden phases
+    only), checkpoint into the STATE flops, program the mask, pulse
+    ``load_state``+``inject`` to start the faulty run from the flipped
+    checkpoint, then interleave golden/faulty phases; stop at the first
+    output mismatch (failure) or when ``state_diff`` returns to 0
+    (silent) or at testbench end (latent).
+    """
+    if instrumented.technique != "time_multiplexed":
+        raise CampaignError("drive_time_mux needs a time-mux instrument")
+    driver = driver or _Driver(instrumented, testbench)
+    simulator = CycleSimulator(driver.compiled)
+    diff_position = instrumented.netlist.outputs.index(
+        instrumented.control_outputs["state_diff"]
+    )
+
+    spent = 0
+    # 0. clear the mask array, program the target bit
+    simulator.step(driver.input_word(0, {"tm_rst": 1}))
+    controls = driver.mask_address_controls("tm", fault.flop_index)
+    controls["tm_set"] = 1
+    simulator.step(driver.input_word(0, controls))
+    spent += 2
+
+    # 1. golden-only phases up to the fault cycle (checkpoint at t).
+    for cycle in range(fault.cycle):
+        simulator.step(
+            driver.input_word(testbench.vectors[cycle], {"tm_ena_golden": 1})
+        )
+        spent += 1
+    # 2. checkpoint the golden state, then load the flipped checkpoint
+    # into the faulty flops.
+    simulator.step(driver.input_word(0, {"tm_save_state": 1}))
+    simulator.step(
+        driver.input_word(0, {"tm_load_state": 1, "tm_inject": 1})
+    )
+    spent += 2
+
+    fail_cycle = -1
+    verdict: Optional[FaultClass] = None
+    for cycle in range(fault.cycle, testbench.num_cycles):
+        vector = testbench.vectors[cycle]
+        golden_out = simulator.step(
+            driver.input_word(vector, {"tm_ena_golden": 1})
+        )
+        spent += 1
+        # The golden-phase observation is the *aligned* comparison point:
+        # both flop banks hold end-of-previous-cycle values here (during
+        # the faulty phase the golden bank has already advanced one
+        # cycle, so its state_diff reading is skewed by one cycle). The
+        # controller therefore samples "fault disappeared" at the start
+        # of each golden phase.
+        if cycle > fault.cycle and not (golden_out >> diff_position) & 1:
+            verdict = FaultClass.SILENT
+            break
+        faulty_out = simulator.step(
+            driver.input_word(vector, {"tm_ena_faulty": 1})
+        )
+        spent += 1
+        if driver.original_outputs(faulty_out) != driver.original_outputs(
+            golden_out
+        ):
+            fail_cycle = cycle
+            verdict = FaultClass.FAILURE
+            break
+    if verdict is None:
+        # End of testbench: one idle observation (no enables, no state
+        # change) resolves silent vs latent from the final alignment.
+        final_out = simulator.step(driver.input_word(0, {}))
+        spent += 1
+        if not (final_out >> diff_position) & 1:
+            verdict = FaultClass.SILENT
+    if verdict is None:
+        verdict = FaultClass.LATENT
+    return ProtocolOutcome(verdict, fail_cycle, spent)
+
+
+# ---------------------------------------------------------------------------
+def _circuit_state(simulator: CycleSimulator, instrumented: InstrumentedCircuit) -> int:
+    """Packed state of the *original* flops inside the instrumented
+    netlist (instrument flops excluded), in original flop order."""
+    names = [flop.name for flop in simulator.compiled.flops]
+    state = simulator.get_state()
+    packed = 0
+    for position, name in enumerate(instrumented.flop_order):
+        bit = (state >> names.index(name)) & 1
+        packed |= bit << position
+    return packed
+
+
+def _reset_circuit_flops(
+    simulator: CycleSimulator, instrumented: InstrumentedCircuit
+) -> None:
+    """Force the original circuit's flops back to their init values,
+    leaving instrument flops (masks!) untouched."""
+    names = [flop.name for flop in simulator.compiled.flops]
+    inits = {flop.name: flop.init for flop in simulator.compiled.flops}
+    state = simulator.get_state()
+    for name in instrumented.flop_order:
+        position = names.index(name)
+        init = inits[name]
+        init_bit = 0 if init not in (0, 1) else init
+        state = (state & ~(1 << position)) | (init_bit << position)
+    simulator.set_state(state)

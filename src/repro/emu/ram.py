@@ -1,0 +1,129 @@
+"""Emulation RAM layout.
+
+The autonomous system keeps everything a campaign needs in RAM so the host
+is only involved before and after the run (paper section II):
+
+* **stimuli** — one input vector per testbench cycle (all techniques);
+* **expected outputs** — the golden output vector per cycle, for the
+  on-chip comparators (mask-scan and state-scan; time-mux computes the
+  golden run on-chip, which is why its RAM budget is the smallest — the
+  effect visible in the paper's Table 1 RAM column);
+* **faulty states** — state-scan's per-fault insertion states (golden
+  state at the injection cycle with the fault bit flipped); the dominant
+  term, ~``faults x flops`` bits (7.2 Mbit for b14, matching the order of
+  the paper's 7,289 figure);
+* **results** — the 2-bit verdict per fault the host reads back.
+
+Small regions are placed in on-FPGA block RAM, large ones in board SRAM,
+mirroring the RC1000 arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import CampaignError
+from repro.util.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class RamRegion:
+    """One logically contiguous region of emulation RAM."""
+
+    name: str
+    bits: int
+    location: str  # "fpga" (block RAM) or "board" (external SRAM)
+
+    @property
+    def kbits(self) -> float:
+        return self.bits / 1000.0
+
+    def words(self, width: int = 32) -> int:
+        """Region size in ``width``-bit RAM words."""
+        return ceil_div(self.bits, width)
+
+
+@dataclass
+class RamLayout:
+    """The full RAM map of one campaign configuration."""
+
+    technique: str
+    regions: List[RamRegion] = field(default_factory=list)
+    word_width: int = 32
+
+    def _bits(self, location: str) -> int:
+        return sum(r.bits for r in self.regions if r.location == location)
+
+    @property
+    def fpga_kbits(self) -> float:
+        """On-chip block RAM demand (the paper's second RAM figure)."""
+        return self._bits("fpga") / 1000.0
+
+    @property
+    def board_kbits(self) -> float:
+        """External SRAM demand (dominant for state-scan)."""
+        return self._bits("board") / 1000.0
+
+    @property
+    def total_kbits(self) -> float:
+        return (self._bits("fpga") + self._bits("board")) / 1000.0
+
+    def total_words(self) -> int:
+        """Total size in RAM words of ``word_width`` bits."""
+        return sum(r.words(self.word_width) for r in self.regions)
+
+    def region(self, name: str) -> RamRegion:
+        """Look up a region by name."""
+        for candidate in self.regions:
+            if candidate.name == name:
+                return candidate
+        raise CampaignError(f"no RAM region named {name!r}")
+
+    def summary(self) -> str:
+        """Multi-line text rendering of the layout."""
+        lines = [f"RAM layout ({self.technique}):"]
+        for region in self.regions:
+            lines.append(
+                f"  {region.name:<18} {region.kbits:10.1f} kbit  [{region.location}]"
+            )
+        lines.append(
+            f"  {'total':<18} {self.total_kbits:10.1f} kbit "
+            f"(fpga {self.fpga_kbits:.1f} / board {self.board_kbits:.1f})"
+        )
+        return "\n".join(lines)
+
+
+def ram_layout_for(
+    technique: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_flops: int,
+    num_cycles: int,
+    num_faults: int,
+) -> RamLayout:
+    """Compute the RAM map for one technique and campaign size."""
+    if num_cycles <= 0 or num_faults <= 0:
+        raise CampaignError("RAM layout needs positive cycle and fault counts")
+    regions = [
+        RamRegion("stimuli", num_cycles * num_inputs, "fpga"),
+        RamRegion("results", 2 * num_faults, "board"),
+    ]
+    if technique in ("mask_scan", "state_scan"):
+        regions.insert(
+            1, RamRegion("expected_outputs", num_cycles * num_outputs, "fpga")
+        )
+    if technique == "mask_scan":
+        # golden final state for the silent/latent decision, kept in a
+        # controller register bank but accounted here as storage
+        regions.append(RamRegion("golden_final_state", num_flops, "fpga"))
+    if technique == "state_scan":
+        regions.append(
+            RamRegion("faulty_states", num_faults * num_flops, "board")
+        )
+        regions.append(
+            RamRegion("golden_final_state_stream", num_flops, "fpga")
+        )
+    if technique not in ("mask_scan", "state_scan", "time_multiplexed"):
+        raise CampaignError(f"unknown technique {technique!r}")
+    return RamLayout(technique=technique, regions=regions)

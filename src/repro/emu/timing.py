@@ -1,0 +1,78 @@
+"""Cycle accounting containers shared by the campaign engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.emu.board import BoardModel
+
+
+@dataclass
+class CycleBreakdown:
+    """Where the FPGA clock cycles of a campaign went.
+
+    ``prologue`` — golden run / RAM preparation before the first fault;
+    ``setup`` — per-fault mask programming / state scan-in / state load;
+    ``run`` — emulation cycles executing the (golden+)faulty circuit;
+    ``readback`` — verdict writes and end-of-run bookkeeping.
+    """
+
+    prologue: int = 0
+    setup: int = 0
+    run: int = 0
+    readback: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return (
+            self.prologue
+            + self.setup
+            + self.run
+            + self.readback
+            + sum(self.extra.values())
+        )
+
+    def add(self, other: "CycleBreakdown") -> None:
+        """Accumulate another breakdown into this one."""
+        self.prologue += other.prologue
+        self.setup += other.setup
+        self.run += other.run
+        self.readback += other.readback
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+
+@dataclass(frozen=True)
+class EmulationTiming:
+    """A cycle count turned into wall-clock figures on a board."""
+
+    cycles: int
+    board: BoardModel
+    num_faults: int
+
+    @property
+    def seconds(self) -> float:
+        """Total emulation time."""
+        return self.board.cycles_to_seconds(self.cycles)
+
+    @property
+    def milliseconds(self) -> float:
+        """Total emulation time in ms (Table 2's first column)."""
+        return self.seconds * 1e3
+
+    @property
+    def us_per_fault(self) -> float:
+        """Average speed in microseconds per fault (Table 2's second
+        column)."""
+        if self.num_faults == 0:
+            return 0.0
+        return self.seconds * 1e6 / self.num_faults
+
+    @property
+    def cycles_per_fault(self) -> float:
+        """Average FPGA cycles per fault."""
+        if self.num_faults == 0:
+            return 0.0
+        return self.cycles / self.num_faults

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad connectivity, duplicate names...)."""
+
+
+class ValidationError(NetlistError):
+    """A netlist failed validation (combinational loop, floating input...)."""
+
+
+class ElaborationError(ReproError):
+    """RTL could not be elaborated into a gate-level netlist."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be run or produced inconsistent results."""
+
+
+class SynthesisError(ReproError):
+    """Technology mapping / area estimation failed."""
+
+
+class InstrumentationError(ReproError):
+    """A fault-injection instrumentation transform failed."""
+
+
+class CampaignError(ReproError):
+    """A fault-injection campaign was misconfigured or failed."""
+
+
+class ParseError(ReproError):
+    """A textual netlist / stimulus file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper artifact.
+
+* :mod:`repro.eval.table1` — synthesis results (Table 1)
+* :mod:`repro.eval.table2` — emulation time results (Table 2)
+* :mod:`repro.eval.classification` — fault classification split (C1)
+* :mod:`repro.eval.speedup` — comparison vs the two baselines (C2)
+* :mod:`repro.eval.crossover` — mask-scan vs state-scan crossover (C3)
+* :mod:`repro.eval.figure1` — the time-mux instrument census (Figure 1)
+* :mod:`repro.eval.experiments` — run everything, render a report
+"""
+
+from repro.eval.classification import run_classification_experiment
+from repro.eval.crossover import run_crossover_experiment
+from repro.eval.experiments import ExperimentContext, run_all_experiments
+from repro.eval.figure1 import run_figure1_census
+from repro.eval.speedup import run_speedup_experiment
+from repro.eval.table1 import run_table1_experiment
+from repro.eval.table2 import run_table2_experiment
+
+__all__ = [
+    "ExperimentContext",
+    "run_all_experiments",
+    "run_classification_experiment",
+    "run_crossover_experiment",
+    "run_figure1_census",
+    "run_speedup_experiment",
+    "run_table1_experiment",
+    "run_table2_experiment",
+]

@@ -1,0 +1,120 @@
+"""Experiment C3: the mask-scan / state-scan crossover.
+
+The paper observes that state-scan loses on b14 because the circuit has
+many flip-flops (215) and a short testbench (160 cycles) — scanning the
+state in costs N cycles per fault while mask-scan's replay costs ~T — and
+states that "this method improves when the number of cycles is higher
+than the flip-flop number", while time-mux "is always the fastest".
+
+This experiment sweeps testbench length against flip-flop count on a
+processor-shaped circuit family and locates the crossover empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.circuits.generators import build_scaled_processor
+from repro.emu.campaign import run_campaign
+from repro.emu.instrument import TECHNIQUES
+from repro.faults.model import exhaustive_fault_list
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import random_testbench
+from repro.util.tables import Table
+
+
+@dataclass
+class CrossoverPoint:
+    """One sweep cell: per-technique cycles/fault at (flops, cycles)."""
+
+    num_flops: int
+    num_cycles: int
+    cycles_per_fault: dict = field(default_factory=dict)
+
+    @property
+    def state_scan_wins(self) -> bool:
+        """True when state-scan beats mask-scan in this cell."""
+        return (
+            self.cycles_per_fault["state_scan"]
+            < self.cycles_per_fault["mask_scan"]
+        )
+
+    @property
+    def time_mux_fastest(self) -> bool:
+        """True when time-mux is the fastest technique in this cell."""
+        fastest = min(self.cycles_per_fault.values())
+        return self.cycles_per_fault["time_multiplexed"] == fastest
+
+
+@dataclass
+class CrossoverResult:
+    """The full sweep."""
+
+    points: List[CrossoverPoint] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = Table(
+            ["flops", "cycles", "mask-scan c/f", "state-scan c/f",
+             "time-mux c/f", "state-scan wins", "time-mux fastest"],
+            title="Mask-scan vs state-scan crossover sweep",
+        )
+        for point in self.points:
+            table.add_row(
+                [
+                    point.num_flops,
+                    point.num_cycles,
+                    f"{point.cycles_per_fault['mask_scan']:.1f}",
+                    f"{point.cycles_per_fault['state_scan']:.1f}",
+                    f"{point.cycles_per_fault['time_multiplexed']:.1f}",
+                    "yes" if point.state_scan_wins else "no",
+                    "yes" if point.time_mux_fastest else "no",
+                ]
+            )
+        return table.render()
+
+    def paper_claims_hold(self) -> dict:
+        """Check the two paper claims over the sweep.
+
+        Returns flags: ``time_mux_always_fastest`` and
+        ``state_scan_wins_when_cycles_exceed_flops`` (evaluated on cells
+        where cycles >= 2x flops, the regime the paper describes).
+        """
+        always_fastest = all(point.time_mux_fastest for point in self.points)
+        long_bench = [p for p in self.points if p.num_cycles >= 2 * p.num_flops]
+        state_wins_long = bool(long_bench) and all(
+            p.state_scan_wins for p in long_bench
+        )
+        return {
+            "time_mux_always_fastest": always_fastest,
+            "state_scan_wins_when_cycles_exceed_flops": state_wins_long,
+        }
+
+
+def run_crossover_experiment(
+    flop_budgets: Optional[Sequence[int]] = None,
+    cycle_counts: Optional[Sequence[int]] = None,
+    seed: int = 7,
+) -> CrossoverResult:
+    """Sweep (flip-flops x testbench length) and measure all techniques."""
+    budgets = list(flop_budgets or (32, 64, 128))
+    lengths = list(cycle_counts or (32, 128, 512))
+    result = CrossoverResult()
+    for budget in budgets:
+        circuit = build_scaled_processor(budget)
+        for length in lengths:
+            bench = random_testbench(circuit, length, seed=seed)
+            faults = exhaustive_fault_list(circuit, length)
+            oracle = grade_faults(circuit, bench, faults)
+            point = CrossoverPoint(
+                num_flops=circuit.num_ffs, num_cycles=length
+            )
+            for technique in TECHNIQUES:
+                campaign = run_campaign(
+                    circuit, bench, technique, faults=faults, oracle=oracle
+                )
+                point.cycles_per_fault[technique] = (
+                    campaign.timing.cycles_per_fault
+                )
+            result.points.append(point)
+    return result

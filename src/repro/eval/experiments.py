@@ -1,0 +1,94 @@
+"""Run every paper experiment and render a single report.
+
+``run_all_experiments`` is what ``examples/b14_campaign.py`` and the
+EXPERIMENTS.md generator call; it shares one circuit/testbench/oracle
+across experiments so the whole paper reproduction runs in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+from repro.emu.board import RC1000, BoardModel
+from repro.eval.classification import (
+    ClassificationResult,
+    run_classification_experiment,
+)
+from repro.eval.crossover import CrossoverResult, run_crossover_experiment
+from repro.eval.figure1 import Figure1Census, run_figure1_census
+from repro.eval.paper import PAPER_B14
+from repro.eval.speedup import SpeedupResult, run_speedup_experiment
+from repro.eval.table1 import Table1Result, run_table1_experiment
+from repro.eval.table2 import Table2Result, run_table2_experiment
+from repro.netlist.netlist import Netlist
+from repro.sim.vectors import Testbench
+
+
+@dataclass
+class ExperimentContext:
+    """Shared configuration for a full reproduction run."""
+
+    netlist: Optional[Netlist] = None
+    testbench: Optional[Testbench] = None
+    board: BoardModel = RC1000
+    seed: int = 0
+    include_crossover: bool = True
+
+    def resolve(self):
+        circuit = self.netlist if self.netlist is not None else build_b14()
+        bench = self.testbench or b14_program_testbench(
+            circuit, PAPER_B14["stimulus_vectors"], seed=self.seed
+        )
+        return circuit, bench
+
+
+@dataclass
+class FullReport:
+    """All experiment results plus a rendered report."""
+
+    table1: Table1Result
+    table2: Table2Result
+    classification: ClassificationResult
+    speedup: SpeedupResult
+    figure1: Figure1Census
+    crossover: Optional[CrossoverResult] = None
+    sections: list = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            self.table1.render(),
+            self.table2.render(),
+            self.classification.render(),
+            self.speedup.render(),
+            self.figure1.render(),
+        ]
+        if self.crossover is not None:
+            parts.append(self.crossover.render())
+        return "\n\n".join(parts)
+
+
+def run_all_experiments(context: Optional[ExperimentContext] = None) -> FullReport:
+    """Execute the complete reproduction (Tables 1-2, C1-C3, Figure 1)."""
+    context = context or ExperimentContext()
+    circuit, bench = context.resolve()
+
+    table1 = run_table1_experiment(circuit, num_cycles=bench.num_cycles)
+    table2 = run_table2_experiment(circuit, bench, board=context.board)
+    classification = run_classification_experiment(circuit, bench)
+    speedup = run_speedup_experiment(circuit, bench, board=context.board)
+    figure1 = run_figure1_census()
+    crossover = (
+        run_crossover_experiment(seed=context.seed)
+        if context.include_crossover
+        else None
+    )
+    return FullReport(
+        table1=table1,
+        table2=table2,
+        classification=classification,
+        speedup=speedup,
+        figure1=figure1,
+        crossover=crossover,
+    )

@@ -1,0 +1,73 @@
+"""The paper's published numbers, kept verbatim for side-by-side reports.
+
+Source: Lopez-Ongil et al., DATE 2005 — Table 1, Table 2 and the in-text
+figures for the b14 experiment (160 stimulus vectors, 34,400 single
+faults, 25 MHz emulation clock).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — synthesis results for the b14 circuit (Leonardo Spectrum,
+#: Virtex-2000E). RAM cells are (board figure, fpga kbits) as printed.
+PAPER_TABLE1 = {
+    "original": {"luts": 1172, "ffs": 215},
+    "mask_scan": {
+        "ram": (33, 13.4),
+        "modified_luts": 1657,
+        "modified_luts_pct": 41,
+        "modified_ffs": 434,
+        "modified_ffs_pct": 102,
+        "system_luts": 2040,
+        "system_luts_pct": 74,
+        "system_ffs": 670,
+        "system_ffs_pct": 211,
+    },
+    "state_scan": {
+        "ram": (7289, 13.4),
+        "modified_luts": 1644,
+        "modified_luts_pct": 40,
+        "modified_ffs": 433,
+        "modified_ffs_pct": 101,
+        "system_luts": 1728,
+        "system_luts_pct": 47,
+        "system_ffs": 518,
+        "system_ffs_pct": 140,
+    },
+    "time_multiplexed": {
+        "ram": (67, 5.3),
+        "modified_luts": 3836,
+        "modified_luts_pct": 227,
+        "modified_ffs": 859,
+        "modified_ffs_pct": 300,
+        "system_luts": 4162,
+        "system_luts_pct": 255,
+        "system_ffs": 1032,
+        "system_ffs_pct": 380,
+    },
+}
+
+#: Table 2 — time results for the b14 circuit at 25 MHz.
+PAPER_TABLE2 = {
+    "mask_scan": {"emulation_ms": 141.11, "us_per_fault": 4.1},
+    "state_scan": {"emulation_ms": 386.40, "us_per_fault": 11.2},
+    "time_multiplexed": {"emulation_ms": 19.95, "us_per_fault": 0.58},
+}
+
+#: In-text C1 — classification of the 34,400 single faults.
+PAPER_CLASSIFICATION = {"failure": 49.2, "latent": 4.4, "silent": 46.4}
+
+#: In-text C2 — baseline speeds quoted by the paper.
+PAPER_BASELINES = {
+    "fault_simulation_us_per_fault": 1300.0,
+    "host_driven_emulation_us_per_fault": 100.0,
+}
+
+#: Experiment scale.
+PAPER_B14 = {
+    "stimulus_vectors": 160,
+    "faults": 34_400,
+    "clock_mhz": 25.0,
+    "inputs": 32,
+    "outputs": 54,
+    "flip_flops": 215,
+}

@@ -1,0 +1,115 @@
+"""Experiment C2: autonomous emulation vs the two baselines.
+
+The paper's headline: at 25 MHz the autonomous system is "some orders of
+magnitude better than fault simulation (1300 us/fault) and emulation in
+[2] (100 us/fault)". This experiment assembles the whole comparison
+table: three autonomous techniques (measured by the campaign engines),
+the host-driven model, and the software-simulation baseline (both the
+era-calibrated analytic model and an actual measurement of our own serial
+fault simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+from repro.emu.board import RC1000, BoardModel
+from repro.emu.campaign import run_campaign
+from repro.emu.hostlink import HostLinkModel, SoftwareFaultSimModel
+from repro.emu.instrument import TECHNIQUES
+from repro.eval.paper import PAPER_B14, PAPER_BASELINES, PAPER_TABLE2
+from repro.faults.model import exhaustive_fault_list
+from repro.faults.sampling import sample_fault_list
+from repro.netlist.netlist import Netlist
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import Testbench
+from repro.util.tables import Table
+
+
+@dataclass
+class SpeedupResult:
+    """us/fault per method plus derived speedups."""
+
+    circuit: str
+    us_per_fault: Dict[str, float] = field(default_factory=dict)
+    paper_us_per_fault: Dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, method: str, versus: str) -> float:
+        """How many times faster ``method`` is than ``versus``."""
+        return self.us_per_fault[versus] / self.us_per_fault[method]
+
+    def render(self) -> str:
+        table = Table(
+            ["method", "us/fault", "speedup vs fault simulation",
+             "speedup vs host-driven [2]", "paper us/fault"],
+            title=f"Speed comparison on {self.circuit}",
+        )
+        for method, value in self.us_per_fault.items():
+            paper = self.paper_us_per_fault.get(method)
+            table.add_row(
+                [
+                    method,
+                    f"{value:.2f}",
+                    f"{self.speedup(method, 'fault simulation'):.0f}x",
+                    f"{self.speedup(method, 'host-driven emulation [2]'):.0f}x",
+                    f"{paper:.2f}" if paper is not None else "-",
+                ]
+            )
+        return table.render()
+
+
+def run_speedup_experiment(
+    netlist: Optional[Netlist] = None,
+    testbench: Optional[Testbench] = None,
+    board: BoardModel = RC1000,
+    seed: int = 0,
+    measure_software: bool = False,
+    software_sample: int = 50,
+) -> SpeedupResult:
+    """Assemble the C2 comparison.
+
+    ``measure_software`` additionally times our own Python serial fault
+    simulator over a sampled fault list (slow; used by the benchmark).
+    """
+    circuit = netlist if netlist is not None else build_b14()
+    bench = testbench or b14_program_testbench(
+        circuit, PAPER_B14["stimulus_vectors"], seed=seed
+    )
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    oracle = grade_faults(circuit, bench, faults)
+
+    result = SpeedupResult(circuit=circuit.name)
+    simulation = SoftwareFaultSimModel()
+    result.us_per_fault["fault simulation"] = (
+        simulation.seconds_per_fault_analytic(circuit, bench.num_cycles) * 1e6
+    )
+    result.paper_us_per_fault["fault simulation"] = PAPER_BASELINES[
+        "fault_simulation_us_per_fault"
+    ]
+
+    host = HostLinkModel(board=board)
+    result.us_per_fault["host-driven emulation [2]"] = host.us_per_fault(
+        bench.num_cycles
+    )
+    result.paper_us_per_fault["host-driven emulation [2]"] = PAPER_BASELINES[
+        "host_driven_emulation_us_per_fault"
+    ]
+
+    for technique in TECHNIQUES:
+        campaign = run_campaign(
+            circuit, bench, technique, board=board, faults=faults, oracle=oracle
+        )
+        result.us_per_fault[technique] = campaign.timing.us_per_fault
+        result.paper_us_per_fault[technique] = PAPER_TABLE2[technique][
+            "us_per_fault"
+        ]
+
+    if measure_software:
+        sample = sample_fault_list(faults, software_sample, seed=seed)
+        measured = simulation.seconds_per_fault_measured(circuit, bench, sample)
+        result.us_per_fault["fault simulation (measured, this host)"] = (
+            measured * 1e6
+        )
+    return result

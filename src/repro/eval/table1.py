@@ -1,0 +1,94 @@
+"""Experiment Table 1: synthesis results for the b14 circuit.
+
+Regenerates every cell of the paper's Table 1: the original circuit, the
+three instrumented ("modified") circuits with LUT/FF overheads, the three
+full emulator systems (modified + generated controller), and the RAM
+budget per technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.circuits.itc99.b14 import build_b14
+from repro.emu.instrument import TECHNIQUES
+from repro.emu.system import AutonomousEmulator, SynthesisSummary
+from repro.eval.paper import PAPER_B14, PAPER_TABLE1
+from repro.netlist.netlist import Netlist
+from repro.synth.area import AreaReport, area_of
+from repro.util.tables import Table
+
+
+@dataclass
+class Table1Result:
+    """Structured Table-1 data plus a rendered table."""
+
+    circuit: str
+    original: AreaReport
+    summaries: Dict[str, SynthesisSummary] = field(default_factory=dict)
+
+    def render(self, with_paper: bool = True) -> str:
+        """Render in the paper's layout; optionally with the published
+        numbers inline for comparison."""
+        table = Table(
+            [
+                "row",
+                "RAM (board/fpga kbit)",
+                "modified LUTs",
+                "modified FFs",
+                "system LUTs",
+                "system FFs",
+            ],
+            title=f"Table 1 — synthesis results for {self.circuit}",
+        )
+        table.add_row(
+            [f"{self.circuit} original", "-", f"{self.original.luts:,}",
+             str(self.original.ffs), "-", "-"]
+        )
+        for technique, summary in self.summaries.items():
+            modified = summary.modified.overhead_vs(summary.original)
+            system = summary.system.overhead_vs(summary.original)
+            table.add_row(
+                [
+                    technique,
+                    f"{summary.ram.board_kbits:,.0f} / {summary.ram.fpga_kbits:.1f}",
+                    modified.lut_cell(),
+                    modified.ff_cell(),
+                    system.lut_cell(),
+                    system.ff_cell(),
+                ]
+            )
+        text = table.render()
+        if with_paper:
+            text += "\n\npaper reference:\n"
+            for technique in self.summaries:
+                ref = PAPER_TABLE1[technique]
+                text += (
+                    f"  {technique}: RAM {ref['ram'][0]} / {ref['ram'][1]} kbit, "
+                    f"modified {ref['modified_luts']:,} ({ref['modified_luts_pct']}%) LUTs / "
+                    f"{ref['modified_ffs']} ({ref['modified_ffs_pct']}%) FFs, system "
+                    f"{ref['system_luts']:,} ({ref['system_luts_pct']}%) LUTs / "
+                    f"{ref['system_ffs']} ({ref['system_ffs_pct']}%) FFs\n"
+                )
+        return text
+
+
+def run_table1_experiment(
+    netlist: Optional[Netlist] = None,
+    num_cycles: int = PAPER_B14["stimulus_vectors"],
+    techniques: Optional[List[str]] = None,
+) -> Table1Result:
+    """Measure every Table-1 row (defaults to the paper's b14 setup)."""
+    circuit = netlist if netlist is not None else build_b14()
+    num_faults = circuit.num_ffs * num_cycles
+    result = Table1Result(circuit=circuit.name, original=area_of(circuit))
+    for technique in techniques or list(TECHNIQUES):
+        emulator = AutonomousEmulator(
+            circuit,
+            technique,
+            campaign_cycles=num_cycles,
+            campaign_faults=num_faults,
+        )
+        result.summaries[technique] = emulator.synthesize(num_cycles, num_faults)
+    return result

@@ -1,0 +1,86 @@
+"""Experiment Table 2: emulation time results for the b14 circuit.
+
+Regenerates the paper's Table 2 — total emulation time (ms) and average
+speed (us/fault) for the three autonomous techniques at the board clock —
+from the cycle-accurate campaign engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+from repro.emu.board import RC1000, BoardModel
+from repro.emu.campaign import CampaignResult, run_campaign
+from repro.emu.instrument import TECHNIQUES
+from repro.eval.paper import PAPER_B14, PAPER_TABLE2
+from repro.faults.model import exhaustive_fault_list
+from repro.netlist.netlist import Netlist
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import Testbench
+from repro.util.tables import Table
+
+
+@dataclass
+class Table2Result:
+    """Structured Table-2 data plus a rendered table."""
+
+    circuit: str
+    campaigns: Dict[str, CampaignResult] = field(default_factory=dict)
+
+    def render(self, with_paper: bool = True) -> str:
+        """Render in the paper's layout."""
+        table = Table(
+            ["autonomous system", "emulation time (ms)", "avg speed (us/fault)",
+             "cycles/fault"],
+            title=f"Table 2 — time results for {self.circuit}",
+        )
+        for technique, campaign in self.campaigns.items():
+            table.add_row(
+                [
+                    technique,
+                    f"{campaign.timing.milliseconds:.2f}",
+                    f"{campaign.timing.us_per_fault:.2f}",
+                    f"{campaign.timing.cycles_per_fault:.1f}",
+                ]
+            )
+        text = table.render()
+        if with_paper:
+            text += "\n\npaper reference:\n"
+            for technique in self.campaigns:
+                ref = PAPER_TABLE2[technique]
+                text += (
+                    f"  {technique}: {ref['emulation_ms']:.2f} ms, "
+                    f"{ref['us_per_fault']:.2f} us/fault\n"
+                )
+        return text
+
+    def fastest(self) -> str:
+        """Name of the fastest technique (the paper's claim: time-mux)."""
+        return min(
+            self.campaigns, key=lambda t: self.campaigns[t].timing.cycles_per_fault
+        )
+
+
+def run_table2_experiment(
+    netlist: Optional[Netlist] = None,
+    testbench: Optional[Testbench] = None,
+    board: BoardModel = RC1000,
+    seed: int = 0,
+) -> Table2Result:
+    """Run all three campaigns on the paper's setup (b14, 160 vectors,
+    exhaustive faults) and report Table-2 figures."""
+    circuit = netlist if netlist is not None else build_b14()
+    bench = testbench or b14_program_testbench(
+        circuit, PAPER_B14["stimulus_vectors"], seed=seed
+    )
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    oracle = grade_faults(circuit, bench, faults)
+
+    result = Table2Result(circuit=circuit.name)
+    for technique in TECHNIQUES:
+        result.campaigns[technique] = run_campaign(
+            circuit, bench, technique, board=board, faults=faults, oracle=oracle
+        )
+    return result

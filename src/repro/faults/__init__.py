@@ -1,0 +1,20 @@
+"""SEU fault model, fault lists, classification and dictionaries."""
+
+from repro.faults.classify import FaultClass, classification_counts, classify_outcome
+from repro.faults.dictionary import FaultDictionary, FaultRecord
+from repro.faults.model import SeuFault, exhaustive_fault_list, faults_for_flop
+from repro.faults.sampling import SampleEstimate, sample_fault_list, wilson_interval
+
+__all__ = [
+    "FaultClass",
+    "FaultDictionary",
+    "FaultRecord",
+    "SampleEstimate",
+    "SeuFault",
+    "classification_counts",
+    "classify_outcome",
+    "exhaustive_fault_list",
+    "faults_for_flop",
+    "sample_fault_list",
+    "wilson_interval",
+]

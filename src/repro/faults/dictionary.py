@@ -1,0 +1,123 @@
+"""Fault dictionary: per-fault records and aggregate queries.
+
+The emulation RAM stores a 2-bit verdict per fault; the host-side fault
+dictionary is its decoded, queryable form — the artifact a hardening
+engineer actually reads ("which flops cause failures?", "how long do
+latent errors survive?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import CampaignError
+from repro.faults.classify import FaultClass, classification_counts
+from repro.faults.model import SeuFault
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One graded fault.
+
+    ``fail_cycle``/``vanish_cycle`` are -1 when the event never occurred.
+    ``latency`` is the number of cycles from injection until the verdict
+    was decidable (what the time-multiplexed technique exploits).
+    """
+
+    fault: SeuFault
+    verdict: FaultClass
+    fail_cycle: int
+    vanish_cycle: int
+
+    def latency(self, num_cycles: int) -> int:
+        """Cycles from injection to classification.
+
+        Failures classify at the first wrong output; silent faults at state
+        convergence; latent faults only at the end of the testbench.
+        """
+        if self.verdict is FaultClass.FAILURE:
+            return self.fail_cycle - self.fault.cycle
+        if self.verdict is FaultClass.SILENT:
+            return self.vanish_cycle - self.fault.cycle
+        return num_cycles - self.fault.cycle
+
+
+class FaultDictionary:
+    """All graded faults of one campaign."""
+
+    def __init__(self, num_cycles: int, flop_names: List[str]):
+        self.num_cycles = num_cycles
+        self.flop_names = list(flop_names)
+        self.records: List[FaultRecord] = []
+
+    def add(self, record: FaultRecord) -> None:
+        """Append one graded fault."""
+        if record.fault.cycle >= self.num_cycles:
+            raise CampaignError(
+                f"fault at cycle {record.fault.cycle} outside testbench "
+                f"of {self.num_cycles} cycles"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[FaultRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[FaultClass, int]:
+        """Verdict histogram — the paper's classification split."""
+        return classification_counts(record.verdict for record in self.records)
+
+    def percentages(self) -> Dict[FaultClass, float]:
+        """Verdict percentages."""
+        total = len(self.records)
+        if total == 0:
+            return {key: 0.0 for key in FaultClass}
+        counts = self.counts()
+        return {key: 100.0 * counts[key] / total for key in counts}
+
+    def per_flop_failures(self) -> Dict[str, int]:
+        """Failure count per flip-flop — the weak-area report that
+        motivates emulation-based grading (paper section I)."""
+        failures: Dict[str, int] = {name: 0 for name in self.flop_names}
+        for record in self.records:
+            if record.verdict is FaultClass.FAILURE:
+                name = record.fault.flop_name or self.flop_names[record.fault.flop_index]
+                failures[name] = failures.get(name, 0) + 1
+        return failures
+
+    def weakest_flops(self, count: int = 10) -> List[tuple]:
+        """The ``count`` flops with the most failures, worst first."""
+        per_flop = self.per_flop_failures()
+        ranked = sorted(per_flop.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def mean_latency(self, verdict: Optional[FaultClass] = None) -> float:
+        """Average classification latency in cycles (optionally filtered by
+        verdict). This is the quantity that determines time-mux speed."""
+        relevant = [
+            record
+            for record in self.records
+            if verdict is None or record.verdict is verdict
+        ]
+        if not relevant:
+            return 0.0
+        total = sum(record.latency(self.num_cycles) for record in relevant)
+        return total / len(relevant)
+
+    def summary(self) -> str:
+        """Multi-line text summary."""
+        counts = self.counts()
+        percentages = self.percentages()
+        lines = [f"{len(self.records)} faults graded over {self.num_cycles} cycles"]
+        for verdict in FaultClass:
+            lines.append(
+                f"  {verdict.value:>8}: {counts[verdict]:>8} "
+                f"({percentages[verdict]:5.1f} %)"
+            )
+        return "\n".join(lines)

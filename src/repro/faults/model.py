@@ -1,0 +1,76 @@
+"""The SEU fault model: a single bit-flip in one flip-flop at one cycle.
+
+The paper adopts the standard bit-flip model for single-event upsets: only
+memory elements are affected, and a fault is the pair (flip-flop, clock
+cycle). The *complete set of single faults* for a circuit with N flops and
+a T-cycle testbench therefore has N x T members — 215 x 160 = 34,400 for
+the b14 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import CampaignError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True, order=True)
+class SeuFault:
+    """One single-event upset: flip flop ``flop_index`` at the start of
+    cycle ``cycle`` (i.e. perturb the state the flop holds during that
+    cycle).
+
+    ``flop_index`` refers to the netlist's deterministic flop order (the
+    same order used for state packing and scan chains).
+    """
+
+    cycle: int
+    flop_index: int
+    flop_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise CampaignError(f"fault cycle must be non-negative, got {self.cycle}")
+        if self.flop_index < 0:
+            raise CampaignError(
+                f"fault flop index must be non-negative, got {self.flop_index}"
+            )
+
+    def describe(self) -> str:
+        """Human-readable fault identity."""
+        name = self.flop_name or f"flop[{self.flop_index}]"
+        return f"SEU({name} @ cycle {self.cycle})"
+
+
+def exhaustive_fault_list(
+    netlist: Netlist, num_cycles: int, flop_names: Optional[List[str]] = None
+) -> List[SeuFault]:
+    """The complete single-fault set: every (flop, cycle) pair.
+
+    Faults are ordered cycle-major — the order the time-multiplexed
+    technique processes them in, so the golden state only ever advances.
+    """
+    if num_cycles <= 0:
+        raise CampaignError("fault list needs a positive number of cycles")
+    names = flop_names if flop_names is not None else netlist.ff_names()
+    faults = []
+    for cycle in range(num_cycles):
+        for flop_index, name in enumerate(names):
+            faults.append(SeuFault(cycle=cycle, flop_index=flop_index, flop_name=name))
+    return faults
+
+
+def faults_for_flop(
+    netlist: Netlist, flop_index: int, num_cycles: int
+) -> List[SeuFault]:
+    """All faults targeting one flop (used for per-flop vulnerability
+    reports)."""
+    names = netlist.ff_names()
+    if not 0 <= flop_index < len(names):
+        raise CampaignError(f"no flop with index {flop_index}")
+    return [
+        SeuFault(cycle=cycle, flop_index=flop_index, flop_name=names[flop_index])
+        for cycle in range(num_cycles)
+    ]

@@ -1,0 +1,38 @@
+"""Three-valued (0/1/X) logic values, truth tables and boolean expressions.
+
+This is the lowest layer of the stack: everything above (netlists,
+simulators, the LUT mapper) evaluates gates through the functions defined
+here, so there is exactly one definition of what each cell computes.
+"""
+
+from repro.logic.expr import Expr, Lit, Op, Var, cofactor, eval_expr, expr_support
+from repro.logic.tables import (
+    GATE_ARITY,
+    GATE_EVAL,
+    GATE_NAMES,
+    eval_gate,
+    truth_table,
+)
+from repro.logic.values import X, is_known, resolve3, v3_and, v3_not, v3_or, v3_xor
+
+__all__ = [
+    "Expr",
+    "GATE_ARITY",
+    "GATE_EVAL",
+    "GATE_NAMES",
+    "Lit",
+    "Op",
+    "Var",
+    "X",
+    "cofactor",
+    "eval_expr",
+    "eval_gate",
+    "expr_support",
+    "is_known",
+    "resolve3",
+    "truth_table",
+    "v3_and",
+    "v3_not",
+    "v3_or",
+    "v3_xor",
+]

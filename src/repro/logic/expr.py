@@ -1,0 +1,173 @@
+"""A small boolean-expression IR.
+
+The LUT mapper represents each mapped cone as an expression over its cut
+leaves, and the RTL layer lowers word operators through expressions before
+emitting gates. Expressions are immutable trees of :class:`Var`,
+:class:`Lit` and :class:`Op` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence, Tuple, Union
+
+from repro.logic.tables import eval_gate
+from repro.logic.values import Value
+
+
+class Expr:
+    """Base class for boolean expressions. Use the factory helpers below."""
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Op("and", (self, other))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Op("or", (self, other))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Op("xor", (self, other))
+
+    def __invert__(self) -> "Expr":
+        return Op("inv", (self,))
+
+
+class Var(Expr):
+    """A free variable, identified by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+
+class Lit(Expr):
+    """A constant 0 or 1."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        if value not in (0, 1):
+            raise ValueError(f"literal must be 0 or 1, got {value!r}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Lit) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("lit", self.value))
+
+
+class Op(Expr):
+    """A gate application: ``Op('and', (a, b))``."""
+
+    __slots__ = ("gate", "args")
+
+    def __init__(self, gate: str, args: Sequence[Expr]):
+        self.gate = gate
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    def __repr__(self) -> str:
+        return f"Op({self.gate!r}, {self.args!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Op)
+            and other.gate == self.gate
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("op", self.gate, self.args))
+
+
+def mux(select: Expr, if0: Expr, if1: Expr) -> Expr:
+    """Build a 2:1 mux expression (select==1 picks ``if1``)."""
+    return Op("mux2", (select, if0, if1))
+
+
+def eval_expr(expr: Expr, env: Dict[str, Value]) -> Value:
+    """Evaluate an expression under a variable assignment.
+
+    Unbound variables raise ``KeyError`` — an unbound input is a bug at
+    every call site we have.
+    """
+    if isinstance(expr, Lit):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Op):
+        return eval_gate(expr.gate, [eval_expr(arg, env) for arg in expr.args])
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def expr_support(expr: Expr) -> FrozenSet[str]:
+    """Return the set of variable names the expression depends on
+    (syntactic support)."""
+    if isinstance(expr, Lit):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset([expr.name])
+    if isinstance(expr, Op):
+        support: FrozenSet[str] = frozenset()
+        for arg in expr.args:
+            support |= expr_support(arg)
+        return support
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def cofactor(expr: Expr, name: str, value: int) -> Expr:
+    """Shannon cofactor: substitute ``name = value`` and fold constants
+    (full evaluation when all inputs are known, plus dominance folding —
+    an AND with a 0 input is 0, an OR with a 1 input is 1)."""
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, Var):
+        return Lit(value) if expr.name == name else expr
+    if isinstance(expr, Op):
+        args = [cofactor(arg, name, value) for arg in expr.args]
+        return _fold(expr.gate, args)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _fold(gate: str, args: Sequence[Expr]) -> Expr:
+    """Constant-fold one gate application as far as the literals allow."""
+    if all(isinstance(arg, Lit) for arg in args):
+        result = eval_gate(gate, [arg.value for arg in args])
+        if result in (0, 1):
+            return Lit(int(result))
+    literals = [arg.value for arg in args if isinstance(arg, Lit)]
+    unknown = [arg for arg in args if not isinstance(arg, Lit)]
+    if gate in ("and", "nand") and 0 in literals:
+        return Lit(0 if gate == "and" else 1)
+    if gate in ("or", "nor") and 1 in literals:
+        return Lit(1 if gate == "or" else 0)
+    if gate in ("and", "or") and len(unknown) == 1 and all(
+        lit == (1 if gate == "and" else 0) for lit in literals
+    ):
+        return unknown[0]
+    if gate == "mux2" and isinstance(args[0], Lit):
+        return args[2] if args[0].value else args[1]
+    return Op(gate, args)
+
+
+def expr_truth_table(expr: Expr, order: Sequence[str]) -> int:
+    """Truth table of ``expr`` over variables listed in ``order``
+    (``order[0]`` is the least-significant input bit)."""
+    table = 0
+    width = len(order)
+    for row in range(1 << width):
+        env = {name: (row >> bit) & 1 for bit, name in enumerate(order)}
+        if eval_expr(expr, env) == 1:
+            table |= 1 << row
+    return table

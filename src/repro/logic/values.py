@@ -1,0 +1,85 @@
+"""Three-valued logic: 0, 1 and X (unknown).
+
+The cycle simulator starts every flip-flop at X unless a reset value is
+given, exactly like an unconfigured FPGA flop, and X-propagation tells us
+which circuit outputs are defined before reset completes. The value X is
+represented by the singleton string ``"x"`` so that 0/1 stay plain ints and
+the common two-valued fast paths never box values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+X = "x"
+Value = Union[int, str]
+
+_VALID = (0, 1, X)
+
+
+def is_known(value: Value) -> bool:
+    """True when ``value`` is a definite 0 or 1."""
+    return value == 0 or value == 1
+
+
+def _check(value: Value) -> Value:
+    if value not in _VALID:
+        raise ValueError(f"not a logic value: {value!r}")
+    return value
+
+
+def v3_not(value: Value) -> Value:
+    """Three-valued NOT."""
+    if value == 0:
+        return 1
+    if value == 1:
+        return 0
+    _check(value)
+    return X
+
+
+def v3_and(left: Value, right: Value) -> Value:
+    """Three-valued AND: 0 dominates X."""
+    if left == 0 or right == 0:
+        return 0
+    if left == 1 and right == 1:
+        return 1
+    _check(left), _check(right)
+    return X
+
+
+def v3_or(left: Value, right: Value) -> Value:
+    """Three-valued OR: 1 dominates X."""
+    if left == 1 or right == 1:
+        return 1
+    if left == 0 and right == 0:
+        return 0
+    _check(left), _check(right)
+    return X
+
+
+def v3_xor(left: Value, right: Value) -> Value:
+    """Three-valued XOR: any X input makes the result X."""
+    if is_known(left) and is_known(right):
+        return left ^ right
+    _check(left), _check(right)
+    return X
+
+
+def resolve3(values: Iterable[Value]) -> Value:
+    """Resolve multiple drivers on a net (used only for validation
+    diagnostics — well-formed netlists are single-driver).
+
+    Agreement on a known value resolves to it; any disagreement or any X
+    resolves to X.
+    """
+    result: Value | None = None
+    for value in values:
+        _check(value)
+        if result is None:
+            result = value
+        elif result != value:
+            return X
+    if result is None:
+        raise ValueError("cannot resolve an empty driver set")
+    return result

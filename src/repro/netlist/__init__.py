@@ -1,0 +1,39 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is a single-clock synchronous circuit: primary inputs,
+primary outputs, combinational gates (see :mod:`repro.logic.tables` for the
+cell library) and D flip-flops. This is the common currency of the whole
+library — circuits are elaborated to netlists, instrumented as netlists,
+simulated as netlists and technology-mapped as netlists.
+"""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Dff, Gate, Netlist
+from repro.netlist.stats import NetlistStats, netlist_stats
+from repro.netlist.textio import loads_netlist, netlist_from_file, netlist_to_file, dumps_netlist
+from repro.netlist.topo import combinational_levels, levelize
+from repro.netlist.transform import (
+    propagate_constants,
+    remove_buffers,
+    sweep_dead_logic,
+)
+from repro.netlist.validate import validate_netlist
+
+__all__ = [
+    "Dff",
+    "Gate",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistStats",
+    "combinational_levels",
+    "dumps_netlist",
+    "levelize",
+    "loads_netlist",
+    "netlist_from_file",
+    "netlist_stats",
+    "netlist_to_file",
+    "propagate_constants",
+    "remove_buffers",
+    "sweep_dead_logic",
+    "validate_netlist",
+]

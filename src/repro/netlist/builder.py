@@ -1,0 +1,184 @@
+"""Fluent construction helpers for netlists.
+
+:class:`NetlistBuilder` removes the naming boilerplate from hand-written
+circuits (tests, instrumentation transforms, the controller generator):
+every helper invents fresh gate/net names and returns the output net, so
+logic reads as data flow::
+
+    b = NetlistBuilder("half_adder")
+    a, c = b.input("a"), b.input("c")
+    b.output_net("sum", b.xor_(a, c))
+    b.output_net("carry", b.and_(a, c))
+    netlist = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.logic.values import Value
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+class NetlistBuilder:
+    """Incrementally builds a validated :class:`Netlist`."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+        self._gate_counter = 0
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def input(self, net: str) -> str:
+        """Declare and return a primary input net."""
+        return self.netlist.add_input(net)
+
+    def inputs(self, prefix: str, width: int) -> List[str]:
+        """Declare a bus of inputs ``prefix[0..width)``."""
+        return [self.input(f"{prefix}[{i}]") for i in range(width)]
+
+    def output_net(self, name: str, source: str) -> str:
+        """Expose ``source`` as primary output ``name`` (buffers if the
+        name differs from the source net)."""
+        if name == source:
+            self.netlist.add_output(name)
+            return name
+        self._emit("buf", [source], name)
+        self.netlist.add_output(name)
+        return name
+
+    def outputs(self, prefix: str, sources: Sequence[str]) -> List[str]:
+        """Expose a bus of outputs ``prefix[i]`` fed by ``sources``."""
+        return [
+            self.output_net(f"{prefix}[{i}]", net) for i, net in enumerate(sources)
+        ]
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def _emit(self, gate_type: str, inputs: Sequence[str], out: Optional[str] = None) -> str:
+        self._gate_counter += 1
+        name = f"{gate_type}${self._gate_counter}"
+        output = out if out is not None else self.netlist.fresh_net(gate_type)
+        self.netlist.add_gate(name, gate_type, inputs, output)
+        return output
+
+    def const0(self) -> str:
+        """A constant-0 net."""
+        return self._emit("const0", [])
+
+    def const1(self) -> str:
+        """A constant-1 net."""
+        return self._emit("const1", [])
+
+    def buf(self, a: str, out: Optional[str] = None) -> str:
+        """Buffer."""
+        return self._emit("buf", [a], out)
+
+    def inv(self, a: str, out: Optional[str] = None) -> str:
+        """Inverter."""
+        return self._emit("inv", [a], out)
+
+    def and_(self, *nets: str, out: Optional[str] = None) -> str:
+        """N-input AND (n>=2, or pass-through for a single net)."""
+        return self._nary("and", nets, out)
+
+    def or_(self, *nets: str, out: Optional[str] = None) -> str:
+        """N-input OR."""
+        return self._nary("or", nets, out)
+
+    def nand_(self, *nets: str, out: Optional[str] = None) -> str:
+        """N-input NAND."""
+        return self._emit("nand", list(nets), out)
+
+    def nor_(self, *nets: str, out: Optional[str] = None) -> str:
+        """N-input NOR."""
+        return self._emit("nor", list(nets), out)
+
+    def xor_(self, *nets: str, out: Optional[str] = None) -> str:
+        """N-input XOR (parity)."""
+        return self._nary("xor", nets, out)
+
+    def xnor_(self, a: str, b: str, out: Optional[str] = None) -> str:
+        """2-input XNOR (equality)."""
+        return self._emit("xnor", [a, b], out)
+
+    def mux(self, select: str, if0: str, if1: str, out: Optional[str] = None) -> str:
+        """2:1 mux: returns ``if1`` when ``select`` is 1, else ``if0``."""
+        return self._emit("mux2", [select, if0, if1], out)
+
+    def _nary(self, gate_type: str, nets: Sequence[str], out: Optional[str]) -> str:
+        if not nets:
+            raise NetlistError(f"{gate_type} needs at least one input")
+        if len(nets) == 1:
+            return self.buf(nets[0], out) if out is not None else nets[0]
+        return self._emit(gate_type, list(nets), out)
+
+    # ------------------------------------------------------------------
+    # trees and reductions (keep fanin bounded for realistic mapping)
+    # ------------------------------------------------------------------
+    def reduce_tree(self, gate_type: str, nets: Sequence[str], arity: int = 4) -> str:
+        """Balanced reduction tree of ``gate_type`` over ``nets``.
+
+        Bounding gate fanin (default 4) keeps the netlist representative of
+        what synthesis would feed a 4-LUT architecture.
+        """
+        if not nets:
+            raise NetlistError("cannot reduce an empty net list")
+        level = list(nets)
+        while len(level) > 1:
+            next_level: List[str] = []
+            for start in range(0, len(level), arity):
+                chunk = level[start : start + arity]
+                if len(chunk) == 1:
+                    next_level.append(chunk[0])
+                else:
+                    next_level.append(self._emit(gate_type, chunk))
+            level = next_level
+        return level[0]
+
+    def or_reduce(self, nets: Sequence[str]) -> str:
+        """OR-reduce a bus (any bit set)."""
+        return self.reduce_tree("or", nets)
+
+    def and_reduce(self, nets: Sequence[str]) -> str:
+        """AND-reduce a bus (all bits set)."""
+        return self.reduce_tree("and", nets)
+
+    def equal(self, bus_a: Sequence[str], bus_b: Sequence[str]) -> str:
+        """Bitwise equality comparator between two equal-width buses."""
+        if len(bus_a) != len(bus_b):
+            raise NetlistError("equal() requires equal-width buses")
+        bits = [self.xnor_(a, b) for a, b in zip(bus_a, bus_b)]
+        return self.and_reduce(bits)
+
+    # ------------------------------------------------------------------
+    # sequential
+    # ------------------------------------------------------------------
+    def dff(self, d: str, q: Optional[str] = None, init: Value = 0, name: Optional[str] = None) -> str:
+        """D flip-flop; returns the q net."""
+        q_net = q if q is not None else self.netlist.fresh_net("q")
+        if name is None:
+            name = f"ff${q_net}"
+        self.netlist.add_dff(name, d, q_net, init)
+        return q_net
+
+    def register(self, d_bits: Sequence[str], prefix: str, init: int = 0) -> List[str]:
+        """A word register: one dff per bit, named ``prefix[i]``."""
+        q_bits: List[str] = []
+        for index, d_net in enumerate(d_bits):
+            q_bits.append(
+                self.dff(d_net, q=f"{prefix}[{index}]", init=(init >> index) & 1,
+                         name=f"ff${prefix}[{index}]")
+            )
+        return q_bits
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True, allow_dangling: bool = False) -> Netlist:
+        """Finish construction; validates by default."""
+        if validate:
+            validate_netlist(self.netlist, allow_dangling=allow_dangling)
+        return self.netlist

@@ -1,0 +1,257 @@
+"""The core netlist data structure.
+
+Nets are plain strings; gates and flip-flops are small named records that
+reference nets. The :class:`Netlist` owns name uniqueness and driver
+bookkeeping and offers the structural queries (driver, fanout, cones) the
+rest of the library is built on.
+
+Design choices:
+
+* **Single clock domain, implicit clock.** The paper's emulation model is a
+  synchronous circuit driven by one emulation clock; modelling the clock as
+  a net would only add noise.
+* **Flip-flops carry an ``init`` value** (0, 1 or X). SEU grading starts
+  from a reset state, and instrumentation inserts flops with known resets.
+* **Deterministic iteration order everywhere** (insertion-ordered dicts) so
+  that compiled simulators, scan chains and reports are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.logic.tables import GATE_ARITY
+from repro.logic.values import X, Value
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate instance.
+
+    ``inputs`` are net names in positional order (significant for ``mux2``:
+    select, d0, d1). ``output`` is the single net this gate drives.
+    """
+
+    name: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if self.gate_type not in GATE_ARITY:
+            raise NetlistError(f"unknown gate type {self.gate_type!r} in {self.name}")
+        low, high = GATE_ARITY[self.gate_type]
+        if len(self.inputs) < low or (high is not None and len(self.inputs) > high):
+            raise NetlistError(
+                f"gate {self.name}: {self.gate_type} cannot take "
+                f"{len(self.inputs)} inputs"
+            )
+
+
+@dataclass(frozen=True)
+class Dff:
+    """A D flip-flop: ``q`` takes the value of ``d`` at each clock edge.
+
+    ``init`` is the power-on/reset value of ``q`` (0, 1, or X for
+    uninitialised).
+    """
+
+    name: str
+    d: str
+    q: str
+    init: Value = 0
+
+    def __post_init__(self) -> None:
+        if self.init not in (0, 1, X):
+            raise NetlistError(f"dff {self.name}: bad init value {self.init!r}")
+
+
+class Netlist:
+    """A synchronous gate-level circuit.
+
+    Construction is incremental (``add_input`` / ``add_gate`` / ...); every
+    mutation keeps the driver map consistent and rejects double-driven nets
+    immediately, so a Netlist is structurally sound at all times. Semantic
+    validation (combinational loops, floating nets) lives in
+    :func:`repro.netlist.validate.validate_netlist`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: Dict[str, Gate] = {}
+        self.dffs: Dict[str, Dff] = {}
+        self._driver: Dict[str, object] = {}
+        self._input_set: set = set()
+        self._fresh_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        self._claim_driver(net, "input")
+        self.inputs.append(net)
+        self._input_set.add(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net (must eventually be driven)."""
+        if net in self.outputs:
+            raise NetlistError(f"duplicate output {net!r}")
+        self.outputs.append(net)
+        return net
+
+    def add_gate(
+        self,
+        name: str,
+        gate_type: str,
+        inputs: Sequence[str],
+        output: str,
+    ) -> Gate:
+        """Add a combinational gate; rejects duplicate names and drivers."""
+        if name in self.gates or name in self.dffs:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        gate = Gate(name=name, gate_type=gate_type, inputs=tuple(inputs), output=output)
+        self._claim_driver(output, gate)
+        self.gates[name] = gate
+        return gate
+
+    def add_dff(self, name: str, d: str, q: str, init: Value = 0) -> Dff:
+        """Add a flip-flop driving net ``q`` from net ``d``."""
+        if name in self.gates or name in self.dffs:
+            raise NetlistError(f"duplicate instance name {name!r}")
+        dff = Dff(name=name, d=d, q=q, init=init)
+        self._claim_driver(q, dff)
+        self.dffs[name] = dff
+        return dff
+
+    def remove_gate(self, name: str) -> None:
+        """Remove a gate and release its output net."""
+        gate = self.gates.pop(name, None)
+        if gate is None:
+            raise NetlistError(f"no gate named {name!r}")
+        del self._driver[gate.output]
+
+    def remove_dff(self, name: str) -> None:
+        """Remove a flip-flop and release its output net."""
+        dff = self.dffs.pop(name, None)
+        if dff is None:
+            raise NetlistError(f"no dff named {name!r}")
+        del self._driver[dff.q]
+
+    def fresh_net(self, hint: str = "n") -> str:
+        """Return a net name that is not yet driven or referenced."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"{hint}${self._fresh_counter}"
+            if candidate not in self._driver and candidate not in self.outputs:
+                return candidate
+
+    def _claim_driver(self, net: str, driver: object) -> None:
+        if net in self._driver:
+            raise NetlistError(f"net {net!r} is already driven")
+        self._driver[net] = driver
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def driver_of(self, net: str) -> object:
+        """Return the driver of a net: a Gate, a Dff, or the string
+        ``"input"``. Raises for undriven nets."""
+        try:
+            return self._driver[net]
+        except KeyError:
+            raise NetlistError(f"net {net!r} has no driver") from None
+
+    def is_driven(self, net: str) -> bool:
+        """True when the net has a driver (gate, dff or primary input)."""
+        return net in self._driver
+
+    def is_input(self, net: str) -> bool:
+        """True when the net is a primary input."""
+        return net in self._input_set
+
+    def nets(self) -> Iterator[str]:
+        """Iterate over every driven net, in insertion order."""
+        return iter(self._driver)
+
+    def all_referenced_nets(self) -> set:
+        """Every net that appears anywhere (driven or consumed)."""
+        nets = set(self._driver)
+        nets.update(self.outputs)
+        for gate in self.gates.values():
+            nets.update(gate.inputs)
+        for dff in self.dffs.values():
+            nets.add(dff.d)
+        return nets
+
+    def fanout_map(self) -> Dict[str, List[object]]:
+        """Map each net to the list of instances that consume it."""
+        fanout: Dict[str, List[object]] = {net: [] for net in self._driver}
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                fanout.setdefault(net, []).append(gate)
+        for dff in self.dffs.values():
+            fanout.setdefault(dff.d, []).append(dff)
+        return fanout
+
+    def transitive_fanin(self, roots: Iterable[str]) -> set:
+        """All nets in the combinational-and-sequential fanin cone of
+        ``roots`` (crossing flip-flops)."""
+        seen: set = set()
+        stack = list(roots)
+        while stack:
+            net = stack.pop()
+            if net in seen or net not in self._driver:
+                continue
+            seen.add(net)
+            driver = self._driver[net]
+            if isinstance(driver, Gate):
+                stack.extend(driver.inputs)
+            elif isinstance(driver, Dff):
+                stack.append(driver.d)
+        return seen
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def num_ffs(self) -> int:
+        """Number of flip-flops (the paper's key size metric)."""
+        return len(self.dffs)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates."""
+        return len(self.gates)
+
+    def ff_names(self) -> List[str]:
+        """Flip-flop names in deterministic (insertion) order — this order
+        defines scan-chain position and fault indexing everywhere."""
+        return list(self.dffs)
+
+    def clone(self, name: Optional[str] = None) -> "Netlist":
+        """Deep-copy the netlist (records are immutable, so this is a
+        cheap re-registration)."""
+        copy = Netlist(name or self.name)
+        for net in self.inputs:
+            copy.add_input(net)
+        for net in self.outputs:
+            copy.add_output(net)
+        for gate in self.gates.values():
+            copy.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output)
+        for dff in self.dffs.values():
+            copy.add_dff(dff.name, dff.d, dff.q, dff.init)
+        copy._fresh_counter = self._fresh_counter
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}: {len(self.inputs)} in, "
+            f"{len(self.outputs)} out, {self.num_gates} gates, "
+            f"{self.num_ffs} ffs)"
+        )

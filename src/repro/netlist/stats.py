@@ -1,0 +1,55 @@
+"""Netlist statistics — sizes, depth, fanout — for reports and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.topo import combinational_levels
+
+
+@dataclass
+class NetlistStats:
+    """Summary statistics of one netlist."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    num_ffs: int
+    logic_depth: int
+    gate_type_counts: Dict[str, int] = field(default_factory=dict)
+    max_fanout: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.num_inputs} in / {self.num_outputs} out, "
+            f"{self.num_gates} gates, {self.num_ffs} FFs, "
+            f"depth {self.logic_depth}, max fanout {self.max_fanout}"
+        )
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    type_counts: Dict[str, int] = {}
+    for gate in netlist.gates.values():
+        type_counts[gate.gate_type] = type_counts.get(gate.gate_type, 0) + 1
+
+    levels = combinational_levels(netlist)
+    depth = 1 + max(levels.values()) if levels else 0
+
+    fanout_sizes = [len(users) for users in netlist.fanout_map().values()]
+    max_fanout = max(fanout_sizes) if fanout_sizes else 0
+
+    return NetlistStats(
+        name=netlist.name,
+        num_inputs=len(netlist.inputs),
+        num_outputs=len(netlist.outputs),
+        num_gates=netlist.num_gates,
+        num_ffs=netlist.num_ffs,
+        logic_depth=depth,
+        gate_type_counts=type_counts,
+        max_fanout=max_fanout,
+    )

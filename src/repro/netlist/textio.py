@@ -1,0 +1,144 @@
+"""Plain-text netlist serialisation (the ``.bnet`` format).
+
+A deliberately small, line-oriented structural format so circuits can be
+shipped as data files, diffed and hand-edited::
+
+    circuit half_adder
+    input a
+    input b
+    output sum
+    output carry
+    gate g1 xor a b -> sum
+    gate g2 and a b -> carry
+    dff r1 d=n3 q=n4 init=0
+
+Lines starting with ``#`` are comments. Gate input order is positional
+(significant for ``mux2``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ParseError
+from repro.logic.values import X
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+
+def dumps_netlist(netlist: Netlist) -> str:
+    """Serialise a netlist to ``.bnet`` text."""
+    lines = [f"circuit {netlist.name}"]
+    for net in netlist.inputs:
+        lines.append(f"input {net}")
+    for net in netlist.outputs:
+        lines.append(f"output {net}")
+    for gate in netlist.gates.values():
+        joined = " ".join(gate.inputs)
+        lines.append(f"gate {gate.name} {gate.gate_type} {joined} -> {gate.output}".replace("  ", " "))
+    for dff in netlist.dffs.values():
+        init = "x" if dff.init == X else str(dff.init)
+        lines.append(f"dff {dff.name} d={dff.d} q={dff.q} init={init}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_netlist(text: str, validate: bool = True) -> Netlist:
+    """Parse ``.bnet`` text into a :class:`Netlist`."""
+    netlist: Netlist | None = None
+    declared_outputs: list[str] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+
+        if keyword == "circuit":
+            if netlist is not None:
+                raise ParseError("duplicate 'circuit' line", line_number)
+            if len(tokens) != 2:
+                raise ParseError("expected: circuit <name>", line_number)
+            netlist = Netlist(tokens[1])
+            continue
+
+        if netlist is None:
+            raise ParseError("file must start with a 'circuit' line", line_number)
+
+        if keyword == "input":
+            if len(tokens) != 2:
+                raise ParseError("expected: input <net>", line_number)
+            netlist.add_input(tokens[1])
+        elif keyword == "output":
+            if len(tokens) != 2:
+                raise ParseError("expected: output <net>", line_number)
+            declared_outputs.append(tokens[1])
+        elif keyword == "gate":
+            _parse_gate(netlist, tokens, line_number)
+        elif keyword == "dff":
+            _parse_dff(netlist, tokens, line_number)
+        else:
+            raise ParseError(f"unknown keyword {keyword!r}", line_number)
+
+    if netlist is None:
+        raise ParseError("empty netlist file")
+    for net in declared_outputs:
+        netlist.add_output(net)
+    if validate:
+        validate_netlist(netlist)
+    return netlist
+
+
+def _parse_gate(netlist: Netlist, tokens: list, line_number: int) -> None:
+    # gate <name> <type> <in...> -> <out>
+    if "->" not in tokens:
+        raise ParseError("gate line missing '->'", line_number)
+    arrow = tokens.index("->")
+    if arrow < 3 or arrow != len(tokens) - 2:
+        raise ParseError(
+            "expected: gate <name> <type> <inputs...> -> <output>", line_number
+        )
+    name, gate_type = tokens[1], tokens[2]
+    inputs = tokens[3:arrow]
+    output = tokens[arrow + 1]
+    try:
+        netlist.add_gate(name, gate_type, inputs, output)
+    except Exception as error:
+        raise ParseError(str(error), line_number) from error
+
+
+def _parse_dff(netlist: Netlist, tokens: list, line_number: int) -> None:
+    # dff <name> d=<net> q=<net> [init=<0|1|x>]
+    if len(tokens) not in (4, 5):
+        raise ParseError("expected: dff <name> d=<net> q=<net> [init=...]", line_number)
+    name = tokens[1]
+    fields = {}
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise ParseError(f"bad dff field {token!r}", line_number)
+        key, value = token.split("=", 1)
+        fields[key] = value
+    if "d" not in fields or "q" not in fields:
+        raise ParseError("dff needs d= and q= fields", line_number)
+    init_text = fields.get("init", "0")
+    if init_text == "x":
+        init = X
+    elif init_text in ("0", "1"):
+        init = int(init_text)
+    else:
+        raise ParseError(f"bad init value {init_text!r}", line_number)
+    try:
+        netlist.add_dff(name, fields["d"], fields["q"], init)
+    except Exception as error:
+        raise ParseError(str(error), line_number) from error
+
+
+def netlist_to_file(netlist: Netlist, path: Union[str, Path]) -> None:
+    """Write a netlist to a ``.bnet`` file."""
+    Path(path).write_text(dumps_netlist(netlist))
+
+
+def netlist_from_file(path: Union[str, Path], validate: bool = True) -> Netlist:
+    """Read a netlist from a ``.bnet`` file."""
+    return loads_netlist(Path(path).read_text(), validate=validate)

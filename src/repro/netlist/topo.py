@@ -1,0 +1,73 @@
+"""Topological ordering of combinational logic.
+
+Levelization treats primary inputs, flip-flop outputs and constant gates as
+sources and orders the remaining gates so that every gate appears after all
+of its fanin. The compiled simulator and the LUT mapper both consume this
+order; a cycle (combinational loop) is a hard error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ValidationError
+from repro.netlist.netlist import Gate, Netlist
+
+
+def levelize(netlist: Netlist) -> List[Gate]:
+    """Return all gates in topological order (Kahn's algorithm).
+
+    Raises :class:`ValidationError` naming the gates on a combinational
+    loop if one exists.
+    """
+    # Pending fanin count per gate: inputs driven by other gates only
+    # (primary inputs and dff outputs are always ready).
+    pending: Dict[str, int] = {}
+    consumers: Dict[str, List[Gate]] = {}
+    for gate in netlist.gates.values():
+        count = 0
+        for net in gate.inputs:
+            if netlist.is_driven(net) and isinstance(netlist.driver_of(net), Gate):
+                count += 1
+                consumers.setdefault(net, []).append(gate)
+        pending[gate.name] = count
+
+    ready = [gate for gate in netlist.gates.values() if pending[gate.name] == 0]
+    order: List[Gate] = []
+    cursor = 0
+    while cursor < len(ready):
+        gate = ready[cursor]
+        cursor += 1
+        order.append(gate)
+        for consumer in consumers.get(gate.output, ()):
+            pending[consumer.name] -= 1
+            if pending[consumer.name] == 0:
+                ready.append(consumer)
+
+    if len(order) != len(netlist.gates):
+        stuck = sorted(name for name, count in pending.items() if count > 0)
+        raise ValidationError(
+            f"combinational loop in {netlist.name!r} involving gates: "
+            + ", ".join(stuck[:10])
+            + ("..." if len(stuck) > 10 else "")
+        )
+    return order
+
+
+def combinational_levels(netlist: Netlist) -> Dict[str, int]:
+    """Map each gate name to its logic level (longest path from a source).
+
+    Sources (inputs, dff outputs, constants) are level 0; a gate's level is
+    1 + max level of its gate-driven fanins. Used for depth statistics and
+    by the LUT mapper's depth-oriented cut ranking.
+    """
+    levels: Dict[str, int] = {}
+    for gate in levelize(netlist):
+        level = 0
+        for net in gate.inputs:
+            if netlist.is_driven(net):
+                driver = netlist.driver_of(net)
+                if isinstance(driver, Gate):
+                    level = max(level, levels[driver.name] + 1)
+        levels[gate.name] = level
+    return levels

@@ -1,0 +1,165 @@
+"""Netlist cleanup transforms.
+
+Elaboration and instrumentation leave behind buffers, constants and
+unreachable logic; these passes tidy the result before technology mapping
+so that area numbers reflect real logic, the way a synthesis tool's
+sweep/constant-propagation stages would.
+
+All transforms return a *new* netlist; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.logic.tables import eval_gate
+from repro.logic.values import is_known
+from repro.netlist.netlist import Dff, Gate, Netlist
+from repro.netlist.topo import levelize
+
+
+def _rebuild(
+    source: Netlist,
+    keep_gate: Dict[str, bool],
+    net_substitution: Dict[str, str],
+    name: Optional[str] = None,
+) -> Netlist:
+    """Copy ``source`` renaming consumed nets through ``net_substitution``
+    and dropping gates where ``keep_gate`` is False."""
+
+    def resolve(net: str) -> str:
+        while net in net_substitution:
+            net = net_substitution[net]
+        return net
+
+    result = Netlist(name or source.name)
+    for net in source.inputs:
+        result.add_input(net)
+    for gate in source.gates.values():
+        if keep_gate.get(gate.name, True):
+            result.add_gate(
+                gate.name,
+                gate.gate_type,
+                [resolve(n) for n in gate.inputs],
+                gate.output,
+            )
+    for dff in source.dffs.values():
+        result.add_dff(dff.name, resolve(dff.d), dff.q, dff.init)
+    for net in source.outputs:
+        resolved = resolve(net)
+        if resolved == net:
+            result.add_output(net)
+        else:
+            # Outputs must keep their names: re-buffer the substituted net.
+            result.add_gate(f"obuf${net}", "buf", [resolved], net)
+            result.add_output(net)
+    return result
+
+
+def remove_buffers(netlist: Netlist) -> Netlist:
+    """Remove ``buf`` gates by rewiring consumers to the buffer input.
+
+    Buffers driving primary outputs are kept (the output net name is part
+    of the interface).
+    """
+    substitution: Dict[str, str] = {}
+    keep: Dict[str, bool] = {}
+    output_set = set(netlist.outputs)
+    for gate in netlist.gates.values():
+        if gate.gate_type == "buf" and gate.output not in output_set:
+            substitution[gate.output] = gate.inputs[0]
+            keep[gate.name] = False
+    return _rebuild(netlist, keep, substitution)
+
+
+def propagate_constants(netlist: Netlist) -> Netlist:
+    """Fold gates whose inputs are known constants.
+
+    Iterates to a fixed point in one topological pass: a gate whose inputs
+    are all constant is replaced by a constant driver; partial constants
+    are left alone (full Boolean simplification is the mapper's job).
+    Flip-flops are never folded — their value is cycle-dependent.
+    """
+    constant_of: Dict[str, int] = {}
+    keep: Dict[str, bool] = {}
+    substitution: Dict[str, str] = {}
+
+    # Nets driven by const gates seed the propagation.
+    for gate in levelize(netlist):
+        known_inputs = []
+        all_known = True
+        for net in gate.inputs:
+            if net in constant_of:
+                known_inputs.append(constant_of[net])
+            else:
+                all_known = False
+                break
+        if gate.gate_type in ("const0", "const1"):
+            constant_of[gate.output] = 0 if gate.gate_type == "const0" else 1
+            continue
+        if all_known:
+            value = eval_gate(gate.gate_type, known_inputs)
+            if is_known(value):
+                constant_of[gate.output] = int(value)
+
+    if not constant_of:
+        return netlist.clone()
+
+    # Replace every folded gate by a shared const cell.
+    result = Netlist(netlist.name)
+    for net in netlist.inputs:
+        result.add_input(net)
+
+    const_nets: Dict[int, str] = {}
+
+    def const_net(value: int) -> str:
+        if value not in const_nets:
+            net = result.fresh_net(f"const{value}")
+            result.add_gate(f"konst${value}", f"const{value}", [], net)
+            const_nets[value] = net
+        return const_nets[value]
+
+    def resolve(net: str) -> str:
+        if net in constant_of:
+            return const_net(constant_of[net])
+        return net
+
+    for gate in netlist.gates.values():
+        if gate.output in constant_of:
+            continue
+        result.add_gate(
+            gate.name, gate.gate_type, [resolve(n) for n in gate.inputs], gate.output
+        )
+    for dff in netlist.dffs.values():
+        result.add_dff(dff.name, resolve(dff.d), dff.q, dff.init)
+    for net in netlist.outputs:
+        resolved = resolve(net)
+        if resolved == net:
+            result.add_output(net)
+        else:
+            result.add_gate(f"obuf${net}", "buf", [resolved], net)
+            result.add_output(net)
+    return sweep_dead_logic(result)
+
+
+def sweep_dead_logic(netlist: Netlist, name: Optional[str] = None) -> Netlist:
+    """Remove gates and flip-flops not reachable from any primary output.
+
+    Reachability crosses flip-flops (a FF feeding reachable logic keeps its
+    fanin cone alive). Primary inputs are always preserved — the interface
+    is part of the contract.
+    """
+    live_nets = netlist.transitive_fanin(netlist.outputs)
+
+    result = Netlist(name or netlist.name)
+    for net in netlist.inputs:
+        result.add_input(net)
+    for gate in netlist.gates.values():
+        if gate.output in live_nets:
+            result.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output)
+    for dff in netlist.dffs.values():
+        if dff.q in live_nets:
+            result.add_dff(dff.name, dff.d, dff.q, dff.init)
+    for net in netlist.outputs:
+        result.add_output(net)
+    return result

@@ -1,0 +1,64 @@
+"""Semantic validation of netlists.
+
+``validate_netlist`` is the gatekeeper every pipeline stage calls before
+trusting a netlist: elaboration output, instrumentation output and parsed
+files all go through it. It checks what the incremental construction API
+cannot: that every consumed net is driven, outputs are driven, and the
+combinational logic is acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.topo import levelize
+
+
+def validate_netlist(netlist: Netlist, allow_dangling: bool = False) -> None:
+    """Raise :class:`ValidationError` describing every problem found.
+
+    ``allow_dangling`` permits driven nets with no consumers (common in
+    intermediate transform states); undriven *consumed* nets are always an
+    error.
+    """
+    problems: List[str] = []
+
+    for gate in netlist.gates.values():
+        for net in gate.inputs:
+            if not netlist.is_driven(net):
+                problems.append(f"gate {gate.name}: input net {net!r} is undriven")
+    for dff in netlist.dffs.values():
+        if not netlist.is_driven(dff.d):
+            problems.append(f"dff {dff.name}: data net {dff.d!r} is undriven")
+    for net in netlist.outputs:
+        if not netlist.is_driven(net):
+            problems.append(f"primary output {net!r} is undriven")
+
+    seen_outputs = set()
+    for net in netlist.outputs:
+        if net in seen_outputs:
+            problems.append(f"output {net!r} listed twice")
+        seen_outputs.add(net)
+
+    if not allow_dangling:
+        consumed = set(netlist.outputs)
+        for gate in netlist.gates.values():
+            consumed.update(gate.inputs)
+        for dff in netlist.dffs.values():
+            consumed.add(dff.d)
+        for net in netlist.nets():
+            if net not in consumed and not netlist.is_input(net):
+                problems.append(f"net {net!r} is driven but never used")
+
+    try:
+        levelize(netlist)
+    except ValidationError as error:
+        problems.append(str(error))
+
+    if problems:
+        preview = "; ".join(problems[:8])
+        if len(problems) > 8:
+            preview += f"; ... ({len(problems) - 8} more)"
+        raise ValidationError(f"netlist {netlist.name!r} invalid: {preview}")

@@ -1,0 +1,22 @@
+"""Word-level RTL layer.
+
+Circuits that are easier to describe as registers + word operations (the
+ITC'99 benchmarks, the Viper-style b14 processor, the emulation controller)
+are written against :class:`RtlModule` and elaborated into gate-level
+:class:`~repro.netlist.Netlist` objects through a small structural lowering
+library (ripple-carry adders, mux trees, decoders...).
+"""
+
+from repro.rtl.expr import WExpr, cat, const, mux, reduce_and, reduce_or, reduce_xor
+from repro.rtl.module import RtlModule
+
+__all__ = [
+    "RtlModule",
+    "WExpr",
+    "cat",
+    "const",
+    "mux",
+    "reduce_and",
+    "reduce_or",
+    "reduce_xor",
+]

@@ -1,0 +1,170 @@
+"""Elaboration: RTL modules to gate-level netlists.
+
+The elaborator walks each output and next-state expression bottom-up,
+memoising shared subexpressions (by object identity) so diamonds in the
+expression DAG elaborate once, and lowers word operators through
+:mod:`repro.rtl.lower`.
+
+Interface convention: an input or output named ``w`` of width 1 becomes a
+single net ``w``; wider words become nets ``w[0] .. w[n-1]``. Registers map
+to flip-flops named ``ff$<reg>[i]`` with q nets ``<reg>[i]`` — this is the
+FF naming the fault machinery and scan chains rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ElaborationError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import sweep_dead_logic
+from repro.rtl import lower
+from repro.rtl.expr import (
+    WArith,
+    WBitwise,
+    WCat,
+    WCompare,
+    WConst,
+    WExpr,
+    WMux,
+    WNot,
+    WReduce,
+    WShift,
+    WSig,
+    WSlice,
+)
+from repro.rtl.module import RtlModule
+
+Bits = List[str]
+
+
+def _port_nets(name: str, width: int) -> Bits:
+    if width == 1:
+        return [name]
+    return [f"{name}[{i}]" for i in range(width)]
+
+
+class _Elaborator:
+    def __init__(self, module: RtlModule):
+        self.module = module
+        self.builder = NetlistBuilder(module.name)
+        self.signal_bits: Dict[str, Bits] = {}
+        self.memo: Dict[int, Bits] = {}
+
+    def run(self, sweep: bool) -> Netlist:
+        module = self.module
+        # Ports first: inputs...
+        for name, width in module._inputs.items():
+            nets = [self.builder.input(net) for net in _port_nets(name, width)]
+            self.signal_bits[name] = nets
+        # ...then register outputs (q nets exist before next-state logic).
+        for name, (width, init) in module._registers.items():
+            q_nets = _port_nets(name, width)
+            self.signal_bits[name] = q_nets
+
+        # Next-state logic; every register must be assigned.
+        d_bits: Dict[str, Bits] = {}
+        for name, (width, init) in module._registers.items():
+            if name not in module._next:
+                raise ElaborationError(
+                    f"register {name!r} has no next-state assignment"
+                )
+            d_bits[name] = self.eval_bits(module._next[name])
+
+        # Instantiate the flip-flops.
+        for name, (width, init) in module._registers.items():
+            for index, d_net in enumerate(d_bits[name]):
+                q_net = self.signal_bits[name][index]
+                self.builder.netlist.add_dff(
+                    f"ff${name}[{index}]", d_net, q_net, (init >> index) & 1
+                )
+
+        # Outputs.
+        for name, expr in module._outputs:
+            bits = self.eval_bits(expr)
+            if expr.width == 1:
+                self.builder.output_net(name, bits[0])
+            else:
+                for index, net in enumerate(bits):
+                    self.builder.output_net(f"{name}[{index}]", net)
+
+        netlist = self.builder.build(validate=not sweep, allow_dangling=True)
+        if sweep:
+            netlist = sweep_dead_logic(netlist)
+            from repro.netlist.validate import validate_netlist
+
+            validate_netlist(netlist)
+        return netlist
+
+    # ------------------------------------------------------------------
+    def eval_bits(self, expr: WExpr) -> Bits:
+        key = id(expr)
+        if key in self.memo:
+            return self.memo[key]
+        bits = self._eval(expr)
+        if len(bits) != expr.width:
+            raise ElaborationError(
+                f"internal: lowered width {len(bits)} != declared {expr.width} "
+                f"for {type(expr).__name__}"
+            )
+        self.memo[key] = bits
+        return bits
+
+    def _eval(self, expr: WExpr) -> Bits:
+        builder = self.builder
+        if isinstance(expr, WSig):
+            try:
+                return self.signal_bits[expr.name]
+            except KeyError:
+                raise ElaborationError(
+                    f"unknown signal {expr.name!r} in {self.module.name}"
+                ) from None
+        if isinstance(expr, WConst):
+            return lower.lower_const(builder, expr.width, expr.value)
+        if isinstance(expr, WBitwise):
+            return lower.lower_bitwise(
+                builder, expr.op, self.eval_bits(expr.left), self.eval_bits(expr.right)
+            )
+        if isinstance(expr, WNot):
+            return lower.lower_not(builder, self.eval_bits(expr.operand))
+        if isinstance(expr, WArith):
+            a, b = self.eval_bits(expr.left), self.eval_bits(expr.right)
+            if expr.op == "add":
+                return lower.lower_add(builder, a, b)
+            if expr.op == "sub":
+                return lower.lower_sub(builder, a, b)
+            raise ElaborationError(f"unknown arithmetic op {expr.op!r}")
+        if isinstance(expr, WCompare):
+            a, b = self.eval_bits(expr.left), self.eval_bits(expr.right)
+            if expr.op == "eq":
+                return [lower.lower_eq(builder, a, b)]
+            if expr.op == "ne":
+                return [builder.inv(lower.lower_eq(builder, a, b))]
+            if expr.op == "lt":
+                return [lower.lower_lt(builder, a, b)]
+            if expr.op == "ge":
+                return [builder.inv(lower.lower_lt(builder, a, b))]
+            raise ElaborationError(f"unknown comparison {expr.op!r}")
+        if isinstance(expr, WMux):
+            select = self.eval_bits(expr.select)[0]
+            return lower.lower_mux(
+                builder, select, self.eval_bits(expr.if0), self.eval_bits(expr.if1)
+            )
+        if isinstance(expr, WCat):
+            bits: Bits = []
+            for part in expr.parts:
+                bits.extend(self.eval_bits(part))
+            return bits
+        if isinstance(expr, WSlice):
+            return self.eval_bits(expr.operand)[expr.start : expr.stop]
+        if isinstance(expr, WShift):
+            return lower.lower_shift(builder, self.eval_bits(expr.operand), expr.amount)
+        if isinstance(expr, WReduce):
+            return [lower.lower_reduce(builder, expr.op, self.eval_bits(expr.operand))]
+        raise ElaborationError(f"cannot elaborate {type(expr).__name__}")
+
+
+def elaborate_module(module: RtlModule, sweep: bool = True) -> Netlist:
+    """Elaborate ``module`` into a validated gate-level netlist."""
+    return _Elaborator(module).run(sweep=sweep)

@@ -1,0 +1,278 @@
+"""Word-level expression IR.
+
+Expressions are immutable trees over named signals (module inputs and
+registers). Widths are checked at construction time — width bugs in RTL
+are miserable to debug after elaboration, so they are rejected eagerly.
+
+Python operators are overloaded for the common cases::
+
+    total = (a + b)[0:8]          # 8-bit add, keep low bits
+    is_zero = total == const(8, 0)
+    nxt = mux(is_zero, total, acc ^ b)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ElaborationError
+
+
+class WExpr:
+    """Base class for word expressions; every node has a ``width``."""
+
+    width: int
+
+    # -- bitwise -------------------------------------------------------
+    def __and__(self, other: "WExpr") -> "WExpr":
+        return WBitwise("and", self, other)
+
+    def __or__(self, other: "WExpr") -> "WExpr":
+        return WBitwise("or", self, other)
+
+    def __xor__(self, other: "WExpr") -> "WExpr":
+        return WBitwise("xor", self, other)
+
+    def __invert__(self) -> "WExpr":
+        return WNot(self)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "WExpr") -> "WExpr":
+        return WArith("add", self, other)
+
+    def __sub__(self, other: "WExpr") -> "WExpr":
+        return WArith("sub", self, other)
+
+    # -- comparison (1-bit results) -------------------------------------
+    def __eq__(self, other: object) -> "WExpr":  # type: ignore[override]
+        if not isinstance(other, WExpr):
+            return NotImplemented
+        return WCompare("eq", self, other)
+
+    def __ne__(self, other: object) -> "WExpr":  # type: ignore[override]
+        if not isinstance(other, WExpr):
+            return NotImplemented
+        return WCompare("ne", self, other)
+
+    def __lt__(self, other: "WExpr") -> "WExpr":
+        return WCompare("lt", self, other)
+
+    def __ge__(self, other: "WExpr") -> "WExpr":
+        return WCompare("ge", self, other)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    # -- structure ------------------------------------------------------
+    def __getitem__(self, index) -> "WExpr":
+        if isinstance(index, slice):
+            start = index.start or 0
+            stop = index.stop if index.stop is not None else self.width
+            if index.step not in (None, 1):
+                raise ElaborationError("slice step must be 1")
+            return WSlice(self, start, stop)
+        return WSlice(self, index, index + 1)
+
+    def shift_left(self, amount: int) -> "WExpr":
+        """Logical shift left by a constant, width preserved."""
+        return WShift(self, amount)
+
+    def shift_right(self, amount: int) -> "WExpr":
+        """Logical shift right by a constant, width preserved."""
+        return WShift(self, -amount)
+
+    def zext(self, width: int) -> "WExpr":
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise ElaborationError(
+                f"zext target {width} narrower than source {self.width}"
+            )
+        if width == self.width:
+            return self
+        return cat(self, WConst(width - self.width, 0))
+
+
+def _require_same_width(op: str, left: WExpr, right: WExpr) -> int:
+    if left.width != right.width:
+        raise ElaborationError(
+            f"{op}: width mismatch {left.width} vs {right.width}"
+        )
+    return left.width
+
+
+class WSig(WExpr):
+    """A reference to a named signal (input or register) of a module."""
+
+    def __init__(self, name: str, width: int):
+        if width <= 0:
+            raise ElaborationError(f"signal {name!r} must have positive width")
+        self.name = name
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"WSig({self.name!r}, {self.width})"
+
+    __hash__ = WExpr.__hash__
+
+
+class WConst(WExpr):
+    """A constant of explicit width."""
+
+    def __init__(self, width: int, value: int):
+        if width <= 0:
+            raise ElaborationError("constant width must be positive")
+        if value < 0 or value >> width:
+            raise ElaborationError(f"value {value} does not fit in {width} bits")
+        self.width = width
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"WConst({self.width}, {self.value})"
+
+    __hash__ = WExpr.__hash__
+
+
+class WBitwise(WExpr):
+    """Bitwise and/or/xor of equal-width operands."""
+
+    def __init__(self, op: str, left: WExpr, right: WExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.width = _require_same_width(op, left, right)
+
+    __hash__ = WExpr.__hash__
+
+
+class WNot(WExpr):
+    """Bitwise complement."""
+
+    def __init__(self, operand: WExpr):
+        self.operand = operand
+        self.width = operand.width
+
+    __hash__ = WExpr.__hash__
+
+
+class WArith(WExpr):
+    """Add/sub modulo 2^width (ripple-carry at elaboration)."""
+
+    def __init__(self, op: str, left: WExpr, right: WExpr):
+        self.op = op
+        self.left = left
+        self.right = right
+        self.width = _require_same_width(op, left, right)
+
+    __hash__ = WExpr.__hash__
+
+
+class WCompare(WExpr):
+    """Comparison; result is 1 bit. ``lt``/``ge`` are unsigned."""
+
+    def __init__(self, op: str, left: WExpr, right: WExpr):
+        _require_same_width(op, left, right)
+        self.op = op
+        self.left = left
+        self.right = right
+        self.width = 1
+
+    __hash__ = WExpr.__hash__
+
+
+class WMux(WExpr):
+    """2:1 word multiplexer with a 1-bit select."""
+
+    def __init__(self, select: WExpr, if0: WExpr, if1: WExpr):
+        if select.width != 1:
+            raise ElaborationError("mux select must be 1 bit wide")
+        self.select = select
+        self.if0 = if0
+        self.if1 = if1
+        self.width = _require_same_width("mux", if0, if1)
+
+    __hash__ = WExpr.__hash__
+
+
+class WCat(WExpr):
+    """Concatenation; the first argument holds the least-significant bits."""
+
+    def __init__(self, parts: Sequence[WExpr]):
+        if not parts:
+            raise ElaborationError("cat of zero parts")
+        self.parts: Tuple[WExpr, ...] = tuple(parts)
+        self.width = sum(part.width for part in parts)
+
+    __hash__ = WExpr.__hash__
+
+
+class WSlice(WExpr):
+    """Bit-range extraction [start, stop)."""
+
+    def __init__(self, operand: WExpr, start: int, stop: int):
+        if not (0 <= start < stop <= operand.width):
+            raise ElaborationError(
+                f"slice [{start}:{stop}) out of range for width {operand.width}"
+            )
+        self.operand = operand
+        self.start = start
+        self.stop = stop
+        self.width = stop - start
+
+    __hash__ = WExpr.__hash__
+
+
+class WShift(WExpr):
+    """Constant logical shift; positive amounts shift left."""
+
+    def __init__(self, operand: WExpr, amount: int):
+        self.operand = operand
+        self.amount = amount
+        self.width = operand.width
+
+    __hash__ = WExpr.__hash__
+
+
+class WReduce(WExpr):
+    """Reduction (or/and/xor) of all bits of the operand to 1 bit."""
+
+    def __init__(self, op: str, operand: WExpr):
+        if op not in ("or", "and", "xor"):
+            raise ElaborationError(f"unknown reduction {op!r}")
+        self.op = op
+        self.operand = operand
+        self.width = 1
+
+    __hash__ = WExpr.__hash__
+
+
+# -----------------------------------------------------------------------
+# factory helpers (public API)
+# -----------------------------------------------------------------------
+def const(width: int, value: int) -> WConst:
+    """A ``width``-bit constant."""
+    return WConst(width, value)
+
+
+def mux(select: WExpr, if0: WExpr, if1: WExpr) -> WExpr:
+    """Word mux: ``if1`` when ``select`` is 1, else ``if0``."""
+    return WMux(select, if0, if1)
+
+
+def cat(*parts: WExpr) -> WExpr:
+    """Concatenate words, first part at the least-significant end."""
+    return WCat(parts)
+
+
+def reduce_or(operand: WExpr) -> WExpr:
+    """OR of all bits (non-zero test)."""
+    return WReduce("or", operand)
+
+
+def reduce_and(operand: WExpr) -> WExpr:
+    """AND of all bits (all-ones test)."""
+    return WReduce("and", operand)
+
+
+def reduce_xor(operand: WExpr) -> WExpr:
+    """Parity of all bits."""
+    return WReduce("xor", operand)

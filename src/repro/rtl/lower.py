@@ -1,0 +1,149 @@
+"""Structural lowering library: word operators as gate networks.
+
+Every function takes a :class:`~repro.netlist.NetlistBuilder` plus operand
+bit-vectors (lists of net names, LSB first) and returns result bit-vectors.
+The choices here mirror what a straightforward synthesis of the paper-era
+flow would produce: ripple-carry arithmetic, mux trees, XNOR/AND
+comparators — structures whose LUT counts are representative after
+4-LUT mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ElaborationError
+from repro.netlist.builder import NetlistBuilder
+
+Bits = List[str]
+
+
+def lower_const(builder: NetlistBuilder, width: int, value: int) -> Bits:
+    """Constant word as const0/const1 nets (shared per builder call site)."""
+    zero = builder.const0() if (value != (1 << width) - 1 or width == 0) else None
+    one = builder.const1() if value != 0 else None
+    bits: Bits = []
+    for index in range(width):
+        if (value >> index) & 1:
+            if one is None:
+                one = builder.const1()
+            bits.append(one)
+        else:
+            if zero is None:
+                zero = builder.const0()
+            bits.append(zero)
+    return bits
+
+
+def lower_bitwise(builder: NetlistBuilder, op: str, a: Bits, b: Bits) -> Bits:
+    """Bitwise and/or/xor."""
+    if len(a) != len(b):
+        raise ElaborationError("bitwise operand width mismatch")
+    emit = {"and": builder.and_, "or": builder.or_, "xor": builder.xor_}[op]
+    return [emit(x, y) for x, y in zip(a, b)]
+
+
+def lower_not(builder: NetlistBuilder, a: Bits) -> Bits:
+    """Bitwise complement."""
+    return [builder.inv(x) for x in a]
+
+
+def lower_add(builder: NetlistBuilder, a: Bits, b: Bits, carry_in: str | None = None) -> Bits:
+    """Ripple-carry adder, result truncated to operand width."""
+    if len(a) != len(b):
+        raise ElaborationError("adder operand width mismatch")
+    carry = carry_in
+    result: Bits = []
+    for x, y in zip(a, b):
+        if carry is None:
+            result.append(builder.xor_(x, y))
+            carry = builder.and_(x, y)
+        else:
+            partial = builder.xor_(x, y)
+            result.append(builder.xor_(partial, carry))
+            carry = builder.or_(builder.and_(x, y), builder.and_(partial, carry))
+    return result
+
+
+def lower_sub(builder: NetlistBuilder, a: Bits, b: Bits) -> Bits:
+    """a - b as a + ~b + 1."""
+    return lower_add(builder, a, lower_not(builder, b), carry_in=builder.const1())
+
+
+def lower_eq(builder: NetlistBuilder, a: Bits, b: Bits) -> str:
+    """Equality comparator (1 bit)."""
+    return builder.equal(a, b)
+
+
+def lower_lt(builder: NetlistBuilder, a: Bits, b: Bits) -> str:
+    """Unsigned a < b via borrow of a - b."""
+    if len(a) != len(b):
+        raise ElaborationError("comparator operand width mismatch")
+    # Ripple borrow: borrow_{i+1} = ~a&b | (~ (a xor b)) & borrow_i
+    borrow = builder.const0()
+    for x, y in zip(a, b):
+        not_x = builder.inv(x)
+        differ = builder.xor_(x, y)
+        same = builder.inv(differ)
+        borrow = builder.or_(
+            builder.and_(not_x, y), builder.and_(same, borrow)
+        )
+    return borrow
+
+
+def lower_mux(builder: NetlistBuilder, select: str, if0: Bits, if1: Bits) -> Bits:
+    """Word 2:1 mux."""
+    if len(if0) != len(if1):
+        raise ElaborationError("mux operand width mismatch")
+    return [builder.mux(select, x, y) for x, y in zip(if0, if1)]
+
+
+def lower_shift(builder: NetlistBuilder, a: Bits, amount: int) -> Bits:
+    """Constant logical shift (positive = left), width preserved."""
+    width = len(a)
+    zero = builder.const0()
+    if amount >= 0:
+        shifted = [zero] * min(amount, width) + a[: max(width - amount, 0)]
+    else:
+        drop = min(-amount, width)
+        shifted = a[drop:] + [zero] * drop
+    return shifted[:width]
+
+
+def lower_reduce(builder: NetlistBuilder, op: str, a: Bits) -> str:
+    """Reduce a word to one bit."""
+    if op == "or":
+        return builder.or_reduce(a)
+    if op == "and":
+        return builder.and_reduce(a)
+    if op == "xor":
+        return builder.reduce_tree("xor", a, arity=4)
+    raise ElaborationError(f"unknown reduction {op!r}")
+
+
+def lower_decoder(builder: NetlistBuilder, select: Bits, outputs: int) -> Bits:
+    """One-hot decoder: output ``i`` is 1 when select == i.
+
+    Used by the emulation controller to address mask flip-flops.
+    """
+    lines: Bits = []
+    inverted = [builder.inv(bit) for bit in select]
+    for index in range(outputs):
+        terms = [
+            select[bit] if (index >> bit) & 1 else inverted[bit]
+            for bit in range(len(select))
+        ]
+        lines.append(builder.and_reduce(terms))
+    return lines
+
+
+def lower_onehot_mux(builder: NetlistBuilder, selects: Sequence[str], words: Sequence[Bits]) -> Bits:
+    """One-hot word multiplexer: OR of (select_i AND word_i)."""
+    if not words:
+        raise ElaborationError("one-hot mux of zero words")
+    width = len(words[0])
+    result: Bits = []
+    for bit in range(width):
+        terms = [builder.and_(sel, word[bit]) for sel, word in zip(selects, words)]
+        result.append(builder.or_reduce(terms))
+    return result

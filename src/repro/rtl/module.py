@@ -1,0 +1,100 @@
+"""RTL module container: inputs, registers, outputs, next-state logic."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ElaborationError
+from repro.rtl.expr import WExpr, WSig
+
+# Imported lazily inside elaborate() to avoid a circular import.
+
+
+class RtlModule:
+    """A synchronous word-level design.
+
+    Usage::
+
+        m = RtlModule("counter")
+        step = m.input("step", 4)
+        count = m.register("count", 4, init=0)
+        m.next(count, count + step)
+        m.output("count_out", count)
+        netlist = m.elaborate()
+
+    Each register must receive exactly one ``next`` assignment; use
+    :func:`repro.rtl.expr.mux` chains for conditional updates (the
+    elaborator lowers them to gate-level muxes).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: Dict[str, int] = {}
+        self._registers: Dict[str, Tuple[int, int]] = {}  # name -> (width, init)
+        self._next: Dict[str, WExpr] = {}
+        self._outputs: List[Tuple[str, WExpr]] = []
+        self._signal_names: set = set()
+
+    # ------------------------------------------------------------------
+    def _claim_name(self, name: str) -> None:
+        if name in self._signal_names:
+            raise ElaborationError(f"duplicate signal name {name!r} in {self.name}")
+        self._signal_names.add(name)
+
+    def input(self, name: str, width: int) -> WSig:
+        """Declare a primary input word."""
+        self._claim_name(name)
+        self._inputs[name] = width
+        return WSig(name, width)
+
+    def register(self, name: str, width: int, init: int = 0) -> WSig:
+        """Declare a register word with a reset value."""
+        self._claim_name(name)
+        if init < 0 or init >> width:
+            raise ElaborationError(
+                f"register {name!r}: init {init} does not fit in {width} bits"
+            )
+        self._registers[name] = (width, init)
+        return WSig(name, width)
+
+    def next(self, register: WSig, value: WExpr) -> None:
+        """Set the next-state expression of ``register``."""
+        if register.name not in self._registers:
+            raise ElaborationError(f"{register.name!r} is not a register")
+        if register.name in self._next:
+            raise ElaborationError(
+                f"register {register.name!r} already has a next-state assignment"
+            )
+        width, _ = self._registers[register.name]
+        if value.width != width:
+            raise ElaborationError(
+                f"next({register.name}): width {value.width} != register width {width}"
+            )
+        self._next[register.name] = value
+
+    def output(self, name: str, value: WExpr) -> None:
+        """Declare a primary output word driven by ``value``."""
+        for existing, _ in self._outputs:
+            if existing == name:
+                raise ElaborationError(f"duplicate output {name!r}")
+        self._outputs.append((name, value))
+
+    # ------------------------------------------------------------------
+    @property
+    def register_names(self) -> List[str]:
+        """Register names in declaration order."""
+        return list(self._registers)
+
+    def total_register_bits(self) -> int:
+        """Total flip-flop count after elaboration."""
+        return sum(width for width, _ in self._registers.values())
+
+    def elaborate(self, sweep: bool = True):
+        """Lower to a gate-level :class:`~repro.netlist.Netlist`.
+
+        ``sweep`` removes logic unreachable from the outputs (matching what
+        synthesis would do before reporting area).
+        """
+        from repro.rtl.elaborate import elaborate_module
+
+        return elaborate_module(self, sweep=sweep)

@@ -1,0 +1,29 @@
+"""Netlist simulation.
+
+* :mod:`repro.sim.compile` — levelize a netlist into a flat op program.
+* :mod:`repro.sim.cycle` — scalar cycle-based simulator (golden runs,
+  single-fault replays, tests).
+* :mod:`repro.sim.parallel` — bit-parallel fault simulator: the functional
+  oracle for fault grading (64 faults per machine word, numpy backend, with
+  a pure-Python bigint backend for cross-checking).
+* :mod:`repro.sim.event` — event-driven simulator for debugging.
+* :mod:`repro.sim.vectors` — testbench/stimulus containers and generators.
+* :mod:`repro.sim.waves` — VCD waveform export.
+"""
+
+from repro.sim.compile import CompiledNetlist, compile_netlist
+from repro.sim.cycle import CycleSimulator, GoldenTrace, run_golden
+from repro.sim.parallel import FaultGradingResult, grade_faults
+from repro.sim.vectors import Testbench, random_testbench
+
+__all__ = [
+    "CompiledNetlist",
+    "CycleSimulator",
+    "FaultGradingResult",
+    "GoldenTrace",
+    "Testbench",
+    "compile_netlist",
+    "grade_faults",
+    "random_testbench",
+    "run_golden",
+]

@@ -1,0 +1,134 @@
+"""Event-driven simulation.
+
+Where the compiled cycle simulator evaluates every gate every cycle, the
+event-driven simulator only re-evaluates fanout of changed nets. It is
+slower per event in Python but supports three-valued values, per-net
+observation callbacks and waveform capture — the debugging companion to
+the production simulators, and an independent implementation used to
+cross-check them in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.logic.tables import eval_gate
+from repro.logic.values import X, Value
+from repro.netlist.netlist import Dff, Gate, Netlist
+from repro.sim.vectors import Testbench
+
+Observer = Callable[[int, str, Value], None]
+
+
+class EventSimulator:
+    """Three-valued, event-driven netlist simulator.
+
+    Values start at X (except flop outputs, which start at their init
+    value); ``step`` applies one input vector and settles all events.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.values: Dict[str, Value] = {}
+        self._fanout: Dict[str, List[Gate]] = {}
+        for gate in netlist.gates.values():
+            for net in gate.inputs:
+                self._fanout.setdefault(net, []).append(gate)
+        self.cycle = 0
+        self._observers: List[Observer] = []
+        self.events_processed = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Initialise all nets to X and flops to their init values."""
+        self.values = {net: X for net in self.netlist.all_referenced_nets()}
+        for dff in self.netlist.dffs.values():
+            self.values[dff.q] = dff.init
+        self.cycle = 0
+        # settle constants and logic fed only by constants/flops
+        self._settle(list(self.netlist.gates.values()))
+
+    def observe(self, observer: Observer) -> None:
+        """Register a callback invoked as ``observer(cycle, net, value)``
+        on every net change (used by the VCD writer)."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    def _set(self, net: str, value: Value) -> List[Gate]:
+        if self.values.get(net) == value:
+            return []
+        self.values[net] = value
+        for observer in self._observers:
+            observer(self.cycle, net, value)
+        return self._fanout.get(net, [])
+
+    def _settle(self, initial: List[Gate]) -> None:
+        queue = deque(initial)
+        queued = {gate.name for gate in initial}
+        guard = 0
+        limit = 50 * max(1, len(self.netlist.gates))
+        while queue:
+            gate = queue.popleft()
+            queued.discard(gate.name)
+            guard += 1
+            if guard > limit:
+                raise SimulationError(
+                    f"event simulation did not settle in {limit} events "
+                    f"(oscillation in {self.netlist.name}?)"
+                )
+            inputs = [self.values.get(net, X) for net in gate.inputs]
+            new_value = eval_gate(gate.gate_type, inputs)
+            for consumer in self._set(gate.output, new_value):
+                if consumer.name not in queued:
+                    queue.append(consumer)
+                    queued.add(consumer.name)
+            self.events_processed += 1
+
+    # ------------------------------------------------------------------
+    def step(self, inputs: Dict[str, Value]) -> Dict[str, Value]:
+        """Apply one input assignment, settle, clock the flops.
+
+        Returns the primary-output values observed this cycle.
+        """
+        changed: List[Gate] = []
+        for net, value in inputs.items():
+            if not self.netlist.is_input(net):
+                raise SimulationError(f"{net!r} is not a primary input")
+            changed.extend(self._set(net, value))
+        # Deduplicate initial gate list.
+        unique: Dict[str, Gate] = {gate.name: gate for gate in changed}
+        self._settle(list(unique.values()))
+
+        outputs = {net: self.values.get(net, X) for net in self.netlist.outputs}
+
+        # Clock edge: sample all D inputs simultaneously, then update Qs.
+        sampled = {
+            dff.name: self.values.get(dff.d, X) for dff in self.netlist.dffs.values()
+        }
+        self.cycle += 1
+        flop_changes: List[Gate] = []
+        for dff in self.netlist.dffs.values():
+            flop_changes.extend(self._set(dff.q, sampled[dff.name]))
+        unique = {gate.name: gate for gate in flop_changes}
+        self._settle(list(unique.values()))
+        return outputs
+
+    def run(self, testbench: Testbench) -> List[Dict[str, Value]]:
+        """Run a whole testbench, returning per-cycle output dicts."""
+        return [self.step(vector) for vector in testbench.as_dicts()]
+
+    def flop_state(self) -> Dict[str, Value]:
+        """Current value of every flop output net."""
+        return {dff.q: self.values.get(dff.q, X) for dff in self.netlist.dffs.values()}
+
+    def poke_flop(self, name: str, value: Value) -> None:
+        """Force a flop output (fault injection for debugging); fanout is
+        re-settled immediately."""
+        dff: Optional[Dff] = self.netlist.dffs.get(name)
+        if dff is None:
+            raise SimulationError(f"no flop named {name!r}")
+        changed = self._set(dff.q, value)
+        unique = {gate.name: gate for gate in changed}
+        self._settle(list(unique.values()))

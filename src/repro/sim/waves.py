@@ -1,0 +1,71 @@
+"""VCD (Value Change Dump) waveform export.
+
+Attached to an :class:`~repro.sim.event.EventSimulator`, records every net
+change and writes a standard VCD file viewable in GTKWave — the debugging
+workflow for inspecting how a single SEU propagates through a circuit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.logic.values import X, Value
+from repro.netlist.netlist import Netlist
+
+
+class VcdRecorder:
+    """Collects value changes and serialises them as VCD."""
+
+    def __init__(self, netlist: Netlist, timescale: str = "1 ns"):
+        self.netlist = netlist
+        self.timescale = timescale
+        self._changes: List[Tuple[int, str, Value]] = []
+        self._identifiers: Dict[str, str] = {}
+        for index, net in enumerate(sorted(netlist.all_referenced_nets())):
+            self._identifiers[net] = self._short_id(index)
+
+    @staticmethod
+    def _short_id(index: int) -> str:
+        # VCD identifier characters: printable ASCII 33..126
+        chars = []
+        index += 1
+        while index:
+            index, digit = divmod(index - 1, 94)
+            chars.append(chr(33 + digit))
+        return "".join(chars)
+
+    def on_change(self, cycle: int, net: str, value: Value) -> None:
+        """Observer callback for :meth:`EventSimulator.observe`."""
+        self._changes.append((cycle, net, value))
+
+    def dumps(self) -> str:
+        """Serialise everything recorded so far to VCD text."""
+        lines = [
+            "$date repro fault-grading run $end",
+            f"$timescale {self.timescale} $end",
+            f"$scope module {_sanitise(self.netlist.name)} $end",
+        ]
+        for net, identifier in sorted(self._identifiers.items()):
+            lines.append(f"$var wire 1 {identifier} {_sanitise(net)} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        current_time = None
+        for cycle, net, value in self._changes:
+            if cycle != current_time:
+                lines.append(f"#{cycle}")
+                current_time = cycle
+            symbol = "x" if value == X else str(value)
+            lines.append(f"{symbol}{self._identifiers[net]}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the VCD file."""
+        Path(path).write_text(self.dumps())
+
+
+def _sanitise(name: str) -> str:
+    """VCD identifiers cannot contain whitespace; map brackets for
+    readability in viewers."""
+    return name.replace(" ", "_").replace("[", "(").replace("]", ")")

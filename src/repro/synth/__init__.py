@@ -1,0 +1,19 @@
+"""FPGA synthesis substrate: LUT technology mapping and area accounting.
+
+The paper's Table 1 reports Virtex LUT/FF counts from Leonardo Spectrum;
+we reproduce the *ratios* by mapping our gate-level netlists onto k-input
+LUTs with a priority-cuts mapper and counting flip-flops structurally.
+"""
+
+from repro.synth.area import AreaReport, DeviceModel, VIRTEX_2000E, area_of
+from repro.synth.lutmap import LutMapping, decompose_wide_gates, map_to_luts
+
+__all__ = [
+    "AreaReport",
+    "DeviceModel",
+    "LutMapping",
+    "VIRTEX_2000E",
+    "area_of",
+    "decompose_wide_gates",
+    "map_to_luts",
+]

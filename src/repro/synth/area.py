@@ -1,0 +1,113 @@
+"""Area accounting in FPGA resources (LUTs, flip-flops, block RAM).
+
+:class:`AreaReport` is the unit every Table-1 row is expressed in;
+:class:`DeviceModel` describes the target part so reports can include
+utilisation (the paper's board is a Xilinx Virtex-2000E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netlist.netlist import Netlist
+from repro.synth.lutmap import map_to_luts
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Capacity of one FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    block_ram_kbits: float
+
+    def lut_utilisation(self, report: "AreaReport") -> float:
+        """Fraction of the device's LUTs used."""
+        return report.luts / self.luts
+
+    def fits(self, report: "AreaReport") -> bool:
+        """Whether the report fits on this device."""
+        return (
+            report.luts <= self.luts
+            and report.ffs <= self.ffs
+            and report.bram_kbits <= self.block_ram_kbits
+        )
+
+
+# XCV2000E: 19,200 slices x 2 LUTs/2 FFs; 160 BlockRAMs x 4 kbit.
+VIRTEX_2000E = DeviceModel(
+    name="Virtex-2000E", luts=38_400, ffs=38_400, block_ram_kbits=640.0
+)
+
+
+@dataclass
+class AreaReport:
+    """FPGA resources used by one netlist (plus optional RAM bits)."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_kbits: float = 0.0
+    lut_depth: int = 0
+
+    def overhead_vs(self, baseline: "AreaReport") -> "AreaOverhead":
+        """Percentage overhead relative to a baseline circuit — the
+        paper's Table 1 presentation."""
+        return AreaOverhead(
+            name=self.name,
+            luts=self.luts,
+            ffs=self.ffs,
+            lut_overhead_pct=_pct(self.luts, baseline.luts),
+            ff_overhead_pct=_pct(self.ffs, baseline.ffs),
+            bram_kbits=self.bram_kbits,
+        )
+
+    def plus(self, other: "AreaReport", name: Optional[str] = None) -> "AreaReport":
+        """Sum of two reports (modified circuit + controller = system)."""
+        return AreaReport(
+            name=name or f"{self.name}+{other.name}",
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            bram_kbits=self.bram_kbits + other.bram_kbits,
+            lut_depth=max(self.lut_depth, other.lut_depth),
+        )
+
+
+@dataclass(frozen=True)
+class AreaOverhead:
+    """An area report annotated with overhead percentages."""
+
+    name: str
+    luts: int
+    ffs: int
+    lut_overhead_pct: float
+    ff_overhead_pct: float
+    bram_kbits: float
+
+    def lut_cell(self) -> str:
+        """Render like the paper: ``1,657 (41%)``."""
+        return f"{self.luts:,} ({self.lut_overhead_pct:.0f}%)"
+
+    def ff_cell(self) -> str:
+        """Render like the paper: ``434 (102%)``."""
+        return f"{self.ffs:,} ({self.ff_overhead_pct:.0f}%)"
+
+
+def _pct(value: int, baseline: int) -> float:
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (value - baseline) / baseline
+
+
+def area_of(netlist: Netlist, k: int = 4, bram_kbits: float = 0.0) -> AreaReport:
+    """Measure a netlist's area by LUT-mapping it."""
+    mapping = map_to_luts(netlist, k=k)
+    return AreaReport(
+        name=netlist.name,
+        luts=mapping.num_luts,
+        ffs=netlist.num_ffs,
+        bram_kbits=bram_kbits,
+        lut_depth=mapping.depth,
+    )

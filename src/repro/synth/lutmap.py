@@ -1,0 +1,222 @@
+"""Priority-cuts technology mapping onto k-input LUTs.
+
+The classic FPGA mapping formulation: every combinational gate gets a set
+of *cuts* (sets of <= k nets that fully determine its output); a mapping
+selects one cut per needed gate so that every root (primary output or
+flip-flop D input) is covered; each selected cut becomes one LUT.
+
+The implementation follows the standard priority-cuts recipe:
+
+1. topological order; each gate's cut set = cross-merge of its fanins'
+   cut sets + the trivial cut, pruned to the ``cuts_per_node`` best by
+   (depth, size);
+2. a covering pass from the roots picks each gate's best cut and recurses
+   into the cut leaves.
+
+This is an area-oriented heuristic mapper, not an optimal one — exactly
+the class of tool behind the paper's Table 1 numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import SynthesisError
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.topo import levelize
+
+Cut = FrozenSet[str]
+
+
+@dataclass
+class LutMapping:
+    """Result of mapping: one entry per LUT.
+
+    ``luts`` maps each selected root net to its cut (the LUT's input
+    nets). ``depth`` is the maximum LUT depth over all roots.
+    """
+
+    k: int
+    luts: Dict[str, Cut] = field(default_factory=dict)
+    depth: int = 0
+
+    @property
+    def num_luts(self) -> int:
+        return len(self.luts)
+
+
+def decompose_wide_gates(netlist: Netlist, k: int = 4) -> Netlist:
+    """Split gates with more than ``k`` inputs into balanced trees.
+
+    Mapping requires every gate to fit in one LUT in the worst case; the
+    builder usually keeps fanin bounded, but hand-built or generated
+    netlists may not.
+    """
+    wide = [gate for gate in netlist.gates.values() if len(gate.inputs) > k]
+    if not wide:
+        return netlist
+
+    result = netlist.clone()
+    for gate in wide:
+        result.remove_gate(gate.name)
+        _emit_tree(result, gate, k)
+    return result
+
+
+_TREE_INNER = {"and": "and", "or": "or", "nand": "and", "nor": "or", "xor": "xor", "xnor": "xor"}
+_TREE_FINAL = {"and": "and", "or": "or", "nand": "nand", "nor": "nor", "xor": "xor", "xnor": "xnor"}
+
+
+def _emit_tree(netlist: Netlist, gate: Gate, k: int) -> None:
+    if gate.gate_type not in _TREE_INNER:
+        raise SynthesisError(
+            f"gate {gate.name} of type {gate.gate_type} has "
+            f"{len(gate.inputs)} inputs and cannot be decomposed"
+        )
+    inner_type = _TREE_INNER[gate.gate_type]
+    final_type = _TREE_FINAL[gate.gate_type]
+    level: List[str] = list(gate.inputs)
+    counter = 0
+    while len(level) > k:
+        next_level: List[str] = []
+        for start in range(0, len(level), k):
+            chunk = level[start : start + k]
+            if len(chunk) == 1:
+                next_level.append(chunk[0])
+                continue
+            counter += 1
+            out = netlist.fresh_net(f"{gate.name}.t")
+            netlist.add_gate(f"{gate.name}.t{counter}", inner_type, chunk, out)
+            next_level.append(out)
+        level = next_level
+    netlist.add_gate(gate.name, final_type, level, gate.output)
+
+
+def map_to_luts(
+    netlist: Netlist, k: int = 4, cuts_per_node: int = 8
+) -> LutMapping:
+    """Map the combinational logic of ``netlist`` onto k-LUTs.
+
+    Returns a :class:`LutMapping`; flip-flops are untouched (they map to
+    the slice registers the area model counts separately).
+    """
+    if k < 2:
+        raise SynthesisError("LUT size must be at least 2")
+    working = decompose_wide_gates(netlist, k)
+
+    order = levelize(working)
+    gate_of_net: Dict[str, Gate] = {
+        gate.output: gate for gate in working.gates.values()
+    }
+
+    # A net is a *leaf candidate* when it is not produced by a mappable
+    # gate: primary inputs and flip-flop outputs. Constant gates produce
+    # free constants (absorbed into LUT masks), handled specially below.
+    def is_const(net: str) -> bool:
+        gate = gate_of_net.get(net)
+        return gate is not None and gate.gate_type in ("const0", "const1")
+
+    # cut set and best depth per gate-driven net
+    cuts: Dict[str, List[Tuple[int, Cut]]] = {}
+
+    def leaf_depth(net: str) -> int:
+        if net in cuts:
+            return cuts[net][0][0]
+        return 0  # primary input / flop output / constant
+
+    for gate in order:
+        if gate.gate_type in ("const0", "const1"):
+            cuts[gate.output] = [(0, frozenset())]
+            continue
+        fanin_cutsets: List[List[Cut]] = []
+        for net in gate.inputs:
+            if net in cuts:
+                fanin_cutsets.append([leaves for _, leaves in cuts[net]])
+            else:
+                fanin_cutsets.append([frozenset([net])])
+
+        candidates: List[Cut] = [frozenset()]
+        for cutset in fanin_cutsets:
+            next_candidates: List[Cut] = []
+            seen = set()
+            for leaves_so_far in candidates:
+                for leaves in cutset:
+                    union = leaves_so_far | leaves
+                    if len(union) > k or union in seen:
+                        continue
+                    seen.add(union)
+                    next_candidates.append(union)
+            # prune aggressively between merges to bound the cross product
+            next_candidates.sort(key=len)
+            candidates = next_candidates[: cuts_per_node * 2]
+            if not candidates:
+                break
+
+        # the trivial cut: the gate's own inputs
+        trivial = frozenset(gate.inputs)
+        if len(trivial) <= k and trivial not in candidates:
+            candidates.append(trivial)
+        if not candidates:
+            raise SynthesisError(
+                f"gate {gate.name} has no feasible {k}-cut "
+                f"(arity {len(gate.inputs)})"
+            )
+
+        # Cut depth: one LUT level on top of the deepest leaf. Leaf depth
+        # is the leaf's own best-cut depth (0 for inputs/flops/constants);
+        # topological order guarantees leaves are final by now.
+        merged: Dict[Cut, int] = {}
+        for leaves in candidates:
+            depth_value = 1 + max(
+                (leaf_depth(leaf) for leaf in leaves), default=0
+            )
+            if leaves not in merged or merged[leaves] > depth_value:
+                merged[leaves] = depth_value
+
+        ranked = sorted(
+            ((depth_value, leaves) for leaves, depth_value in merged.items()),
+            key=lambda item: (item[0], len(item[1])),
+        )
+        cuts[gate.output] = ranked[:cuts_per_node]
+
+    # ------------------------------------------------------------------
+    # covering from the roots
+    # ------------------------------------------------------------------
+    roots: List[str] = []
+    seen_roots = set()
+    for net in working.outputs:
+        if net in cuts and net not in seen_roots:
+            roots.append(net)
+            seen_roots.add(net)
+    for dff in working.dffs.values():
+        if dff.d in cuts and dff.d not in seen_roots:
+            roots.append(dff.d)
+            seen_roots.add(dff.d)
+
+    mapping = LutMapping(k=k)
+    depth_of: Dict[str, int] = {}
+    stack = list(roots)
+    while stack:
+        net = stack.pop()
+        if net in mapping.luts or net not in cuts:
+            continue
+        best_depth, best_cut = _select_cut(cuts[net])
+        if not best_cut and is_const(net):
+            # constants cost no LUT
+            depth_of[net] = 0
+            continue
+        mapping.luts[net] = best_cut
+        depth_of[net] = best_depth
+        for leaf in best_cut:
+            if leaf in cuts and leaf not in mapping.luts:
+                stack.append(leaf)
+
+    mapping.depth = max(depth_of.values(), default=0)
+    return mapping
+
+
+def _select_cut(ranked: List[Tuple[int, Cut]]) -> Tuple[int, Cut]:
+    """Pick the area-best cut: widest feasible cut first (covers the most
+    logic per LUT), depth as tiebreak."""
+    return min(ranked, key=lambda item: (-len(item[1]), item[0]))

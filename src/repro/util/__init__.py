@@ -1,0 +1,26 @@
+"""Small shared utilities: bit manipulation, deterministic RNG, tables."""
+
+from repro.util.bitops import (
+    bit_count,
+    bits_from_int,
+    bits_to_int,
+    ceil_div,
+    clog2,
+    iter_set_bits,
+    mask,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.tables import Table, format_si
+
+__all__ = [
+    "DeterministicRng",
+    "Table",
+    "bit_count",
+    "bits_from_int",
+    "bits_to_int",
+    "ceil_div",
+    "clog2",
+    "format_si",
+    "iter_set_bits",
+    "mask",
+]

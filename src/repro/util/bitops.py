@@ -1,0 +1,74 @@
+"""Bit-manipulation helpers used across the library.
+
+The simulators pack one fault per bit position inside machine words, and the
+netlist/RTL layers constantly convert between integers and bit vectors, so
+these helpers are deliberately tiny and allocation-free where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+
+def clog2(value: int) -> int:
+    """Return ``ceil(log2(value))``; the number of bits needed to count
+    ``value`` distinct states.
+
+    ``clog2(1)`` is 0 (a single state needs no bits). Raises ``ValueError``
+    for non-positive inputs.
+    """
+    if value <= 0:
+        raise ValueError(f"clog2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer division rounding toward positive infinity."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def mask(width: int) -> int:
+    """Return an integer with the ``width`` least-significant bits set."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_count(value: int) -> int:
+    """Population count of a non-negative integer."""
+    if value < 0:
+        raise ValueError("bit_count requires a non-negative integer")
+    return bin(value).count("1")
+
+
+def iter_set_bits(value: int) -> Iterator[int]:
+    """Yield the positions of the set bits of ``value``, lowest first."""
+    if value < 0:
+        raise ValueError("iter_set_bits requires a non-negative integer")
+    position = 0
+    while value:
+        if value & 1:
+            yield position
+        value >>= 1
+        position += 1
+
+
+def bits_from_int(value: int, width: int) -> list[int]:
+    """Expand ``value`` into a list of ``width`` bits, LSB first."""
+    if value < 0:
+        raise ValueError("bits_from_int requires a non-negative integer")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack a bit sequence (LSB first) into an integer."""
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {index} is {bit!r}, expected 0 or 1")
+        value |= bit << index
+    return value

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The evaluation harness prints tables in the same row/column layout as the
+paper's Table 1 and Table 2; this module provides the small formatter they
+share. No third-party dependency — reports must render anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_si(value: float, unit: str = "", precision: int = 2) -> str:
+    """Format ``value`` with an SI prefix (e.g. ``3400 -> '3.40 k'``).
+
+    Used for RAM bit counts and fault rates in reports.
+    """
+    prefixes = [(1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""), (1e-3, "m"), (1e-6, "u")]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale or (scale == 1e-6):
+            return f"{value / scale:.{precision}f} {prefix}{unit}".rstrip()
+    return f"{value:.{precision}f} {unit}".rstrip()
+
+
+class Table:
+    """A minimal column-aligned text table.
+
+    >>> t = Table(["technique", "LUTs"])
+    >>> t.add_row(["mask-scan", 1657])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cells are stringified with ``str``."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def _column_widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as an aligned multi-line string."""
+        widths = self._column_widths()
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,203 @@
+"""Tests for the cycle-accurate campaign engines (Table 2's machinery)."""
+
+import pytest
+
+from repro.emu.board import RC1000, BoardModel
+from repro.emu.campaign import (
+    MASK_PROGRAM_CYCLES,
+    STATE_LOAD_CYCLES,
+    VERDICT_WRITE_CYCLES,
+    run_campaign,
+)
+from repro.errors import CampaignError
+from repro.faults.model import SeuFault, exhaustive_fault_list
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import constant_testbench, random_testbench
+from repro.synth.area import VIRTEX_2000E
+from tests.conftest import build_counter, build_shift_register, build_sticky
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit = build_shift_register(5)
+    bench = random_testbench(circuit, 20, seed=9)
+    faults = exhaustive_fault_list(circuit, 20)
+    oracle = grade_faults(circuit, bench, faults)
+    return circuit, bench, faults, oracle
+
+
+class TestGeneral:
+    def test_unknown_technique_rejected(self, setup):
+        circuit, bench, faults, oracle = setup
+        with pytest.raises(CampaignError):
+            run_campaign(circuit, bench, "psychic", faults=faults, oracle=oracle)
+
+    def test_defaults_to_exhaustive_faults(self):
+        circuit = build_counter(3)
+        bench = random_testbench(circuit, 8, seed=2)
+        result = run_campaign(circuit, bench, "mask_scan")
+        assert result.num_faults == 3 * 8
+
+    def test_oracle_fault_count_checked(self, setup):
+        circuit, bench, faults, oracle = setup
+        with pytest.raises(CampaignError):
+            run_campaign(
+                circuit, bench, "mask_scan", faults=faults[:5], oracle=oracle
+            )
+
+    def test_classification_identical_across_techniques(self, setup):
+        circuit, bench, faults, oracle = setup
+        counts = [
+            run_campaign(
+                circuit, bench, t, faults=faults, oracle=oracle
+            ).dictionary.counts()
+            for t in ("mask_scan", "state_scan", "time_multiplexed")
+        ]
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_summary_text(self, setup):
+        circuit, bench, faults, oracle = setup
+        result = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle
+        )
+        text = result.summary()
+        assert "mask_scan" in text and "us/fault" in text
+
+
+class TestCycleAccounting:
+    def test_mask_scan_exact_cycles_all_latent(self):
+        """With a never-failing, never-vanishing circuit the formula is
+        exact: prologue + per fault (setup + T + verdict)."""
+        sticky = build_sticky()
+        bench = constant_testbench(sticky, 10, value=0)
+        faults = [SeuFault(cycle=c, flop_index=0) for c in range(10)]
+        oracle = grade_faults(sticky, bench, faults)
+        result = run_campaign(
+            sticky, bench, "mask_scan", faults=faults, oracle=oracle
+        )
+        expected = 10 + 10 * (MASK_PROGRAM_CYCLES + 10 + VERDICT_WRITE_CYCLES)
+        assert result.total_cycles == expected
+
+    def test_state_scan_exact_cycles_all_latent(self):
+        sticky = build_sticky()
+        bench = constant_testbench(sticky, 10, value=0)
+        faults = [SeuFault(cycle=c, flop_index=0) for c in range(10)]
+        oracle = grade_faults(sticky, bench, faults)
+        result = run_campaign(
+            sticky, bench, "state_scan", faults=faults, oracle=oracle
+        )
+        n = sticky.num_ffs
+        per_fault = sum(
+            n + STATE_LOAD_CYCLES + (10 - c) + VERDICT_WRITE_CYCLES
+            for c in range(10)
+        )
+        assert result.total_cycles == 10 + per_fault
+
+    def test_time_mux_exact_cycles_all_latent(self):
+        sticky = build_sticky()
+        bench = constant_testbench(sticky, 10, value=0)
+        faults = [SeuFault(cycle=c, flop_index=0) for c in range(10)]
+        oracle = grade_faults(sticky, bench, faults)
+        result = run_campaign(
+            sticky, bench, "time_multiplexed", faults=faults, oracle=oracle
+        )
+        per_fault = sum(
+            MASK_PROGRAM_CYCLES
+            + STATE_LOAD_CYCLES
+            + 2 * ((10 - 1) - c + 1)
+            + VERDICT_WRITE_CYCLES
+            for c in range(10)
+        )
+        assert result.total_cycles == 2 * 10 + per_fault
+
+    def test_failure_early_exit_shortens_mask_scan(self, setup):
+        circuit, bench, faults, oracle = setup
+        result = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle
+        )
+        # failures stop before T, so run cycles < faults * T
+        assert result.breakdown.run < len(faults) * bench.num_cycles
+
+    def test_time_mux_run_cycles_track_latency(self, setup):
+        circuit, bench, faults, oracle = setup
+        result = run_campaign(
+            circuit, bench, "time_multiplexed", faults=faults, oracle=oracle
+        )
+        dictionary = result.dictionary
+        expected_run = 2 * sum(
+            min(
+                record.fail_cycle if record.fail_cycle != -1 else bench.num_cycles - 1,
+                record.vanish_cycle if record.vanish_cycle != -1 else bench.num_cycles - 1,
+                bench.num_cycles - 1,
+            )
+            - record.fault.cycle
+            + 1
+            for record in dictionary
+        )
+        assert result.breakdown.run == expected_run
+
+
+class TestTiming:
+    def test_time_follows_clock(self, setup):
+        circuit, bench, faults, oracle = setup
+        slow = BoardModel("slow", 1e6, VIRTEX_2000E, 1000.0)
+        fast = BoardModel("fast", 100e6, VIRTEX_2000E, 1000.0)
+        slow_result = run_campaign(
+            circuit, bench, "mask_scan", board=slow, faults=faults, oracle=oracle
+        )
+        fast_result = run_campaign(
+            circuit, bench, "mask_scan", board=fast, faults=faults, oracle=oracle
+        )
+        assert slow_result.total_cycles == fast_result.total_cycles
+        ratio = slow_result.timing.seconds / fast_result.timing.seconds
+        assert ratio == pytest.approx(100.0)
+
+    def test_us_per_fault_consistent(self, setup):
+        circuit, bench, faults, oracle = setup
+        result = run_campaign(
+            circuit, bench, "state_scan", faults=faults, oracle=oracle
+        )
+        expected = result.timing.seconds * 1e6 / len(faults)
+        assert result.timing.us_per_fault == pytest.approx(expected)
+
+    def test_default_board_is_rc1000(self, setup):
+        circuit, bench, faults, oracle = setup
+        result = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle
+        )
+        assert result.timing.board is RC1000
+        assert RC1000.clock_hz == 25e6
+
+
+class TestOrdering:
+    """The paper's qualitative Table-2 facts on a b14-shaped workload."""
+
+    def test_time_mux_fastest_on_processor_shape(self):
+        from repro.circuits.generators import build_scaled_processor
+
+        circuit = build_scaled_processor(48)
+        bench = random_testbench(circuit, 60, seed=3)
+        faults = exhaustive_fault_list(circuit, 60)
+        oracle = grade_faults(circuit, bench, faults)
+        cycles = {
+            t: run_campaign(
+                circuit, bench, t, faults=faults, oracle=oracle
+            ).total_cycles
+            for t in ("mask_scan", "state_scan", "time_multiplexed")
+        }
+        assert cycles["time_multiplexed"] < cycles["mask_scan"]
+        assert cycles["time_multiplexed"] < cycles["state_scan"]
+
+    def test_state_scan_loses_when_flops_exceed_cycles(self):
+        # the b14 situation: N > T
+        circuit = build_shift_register(30)
+        bench = random_testbench(circuit, 15, seed=3)
+        faults = exhaustive_fault_list(circuit, 15)
+        oracle = grade_faults(circuit, bench, faults)
+        mask = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle
+        ).total_cycles
+        state = run_campaign(
+            circuit, bench, "state_scan", faults=faults, oracle=oracle
+        ).total_cycles
+        assert state > mask

@@ -1,0 +1,119 @@
+"""Structural and transparent-mode tests for the three instruments.
+
+"Transparent mode" = all control inputs held inactive; the instrumented
+circuit must then behave exactly like the original. This is the basic
+sanity every instrumentation transform must pass before the protocol
+tests exercise injection.
+"""
+
+import pytest
+
+from repro.emu.instrument import TECHNIQUES, instrument_circuit
+from repro.errors import InstrumentationError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.validate import validate_netlist
+from repro.sim.compile import compile_netlist
+from repro.sim.cycle import CycleSimulator
+from repro.sim.vectors import random_testbench
+from tests.conftest import build_counter, build_shift_register, build_sticky
+
+CIRCUITS = [build_counter, build_shift_register, build_sticky]
+
+
+def transparent_run(instrumented, testbench):
+    """Run the instrumented netlist with controls inactive; return the
+    original outputs per cycle."""
+    netlist = instrumented.netlist
+    position = {net: i for i, net in enumerate(netlist.inputs)}
+    original_positions = [
+        position[net] for net in instrumented.original.inputs
+    ]
+    controls = {}
+    if instrumented.technique == "time_multiplexed":
+        # golden flops must advance for the circuit to run at all
+        controls["tm_ena_golden"] = 1
+    sim = CycleSimulator(compile_netlist(netlist))
+    out_positions = [
+        netlist.outputs.index(net) for net in instrumented.original.outputs
+    ]
+    observed = []
+    for vector in testbench.vectors:
+        word = 0
+        for bit, pos in enumerate(original_positions):
+            if (vector >> bit) & 1:
+                word |= 1 << pos
+        for net, value in controls.items():
+            if value:
+                word |= 1 << position[net]
+        outputs = sim.step(word)
+        packed = 0
+        for bit, pos in enumerate(out_positions):
+            if (outputs >> pos) & 1:
+                packed |= 1 << bit
+        observed.append(packed)
+    return observed
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+@pytest.mark.parametrize("factory", CIRCUITS)
+def test_transparent_mode_equals_original(technique, factory):
+    circuit = factory()
+    bench = random_testbench(circuit, 24, seed=13)
+    instrumented = instrument_circuit(circuit, technique)
+    golden = CycleSimulator(circuit).run(bench)
+    observed = transparent_run(instrumented, bench)
+    assert observed == golden
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_interface_preserved(technique, counter):
+    instrumented = instrument_circuit(counter, technique)
+    netlist = instrumented.netlist
+    # original inputs/outputs still present, in order
+    assert netlist.inputs[: len(counter.inputs)] == counter.inputs
+    assert netlist.outputs[: len(counter.outputs)] == counter.outputs
+    validate_netlist(netlist)
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_flop_order_matches_original(technique, counter):
+    instrumented = instrument_circuit(counter, technique)
+    assert instrumented.flop_order == counter.ff_names()
+
+
+class TestFlopBudgets:
+    """The paper's Table-1 flip-flop ratios are structural facts."""
+
+    def test_mask_scan_doubles_flops(self, counter):
+        instrumented = instrument_circuit(counter, "mask_scan")
+        assert instrumented.netlist.num_ffs == 2 * counter.num_ffs
+
+    def test_state_scan_doubles_flops(self, counter):
+        instrumented = instrument_circuit(counter, "state_scan")
+        assert instrumented.netlist.num_ffs == 2 * counter.num_ffs
+
+    def test_time_mux_quadruples_flops(self, counter):
+        instrumented = instrument_circuit(counter, "time_multiplexed")
+        assert instrumented.netlist.num_ffs == 4 * counter.num_ffs
+
+    def test_figure1_roles_present(self, counter):
+        instrumented = instrument_circuit(counter, "time_multiplexed")
+        names = set(instrumented.netlist.dffs)
+        for index in range(counter.num_ffs):
+            for role in ("golden", "faulty", "mask", "state"):
+                assert f"tm${role}[{index}]" in names
+
+
+class TestErrors:
+    def test_unknown_technique(self, counter):
+        with pytest.raises(InstrumentationError):
+            instrument_circuit(counter, "teleport")
+
+    def test_flopless_circuit_rejected(self):
+        b = NetlistBuilder("comb")
+        a = b.input("a")
+        b.output_net("y", b.inv(a))
+        comb = b.build()
+        for technique in TECHNIQUES:
+            with pytest.raises(InstrumentationError):
+                instrument_circuit(comb, technique)

@@ -1,0 +1,130 @@
+"""Tests for the multi-chain state-scan extension (beyond the paper).
+
+Splitting the shadow register into K parallel chains divides the
+per-fault scan-in cost by ~K; correctness must be unchanged: the
+protocol driver on a multi-chain instrument must still reproduce the
+oracle verdict for every fault.
+"""
+
+import pytest
+
+from repro.emu.campaign import run_campaign
+from repro.emu.instrument.statescan import chain_of, instrument_state_scan
+from repro.emu.protocol import _Driver, drive_state_scan
+from repro.errors import CampaignError, InstrumentationError
+from repro.faults.model import exhaustive_fault_list
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import random_testbench
+from tests.conftest import build_counter, build_shift_register
+
+
+class TestChainMapping:
+    def test_single_chain_is_identity(self):
+        for index in range(10):
+            assert chain_of(index, 10, 1) == (0, index)
+
+    def test_two_chains_split_contiguously(self):
+        # 10 flops, 2 chains of 5
+        assert chain_of(0, 10, 2) == (0, 0)
+        assert chain_of(4, 10, 2) == (0, 4)
+        assert chain_of(5, 10, 2) == (1, 0)
+        assert chain_of(9, 10, 2) == (1, 4)
+
+    def test_uneven_split(self):
+        # 7 flops, 3 chains -> lengths 3/3/1
+        chains = [chain_of(i, 7, 3)[0] for i in range(7)]
+        assert chains == [0, 0, 0, 1, 1, 1, 2]
+
+
+class TestInstrument:
+    def test_ports_per_chain(self):
+        circuit = build_counter(6)
+        instrumented = instrument_state_scan(circuit, num_chains=3)
+        assert instrumented.num_chains == 3
+        for chain in range(3):
+            assert f"ss_si[{chain}]" in instrumented.netlist.inputs
+            assert f"ss_so[{chain}]" in instrumented.netlist.outputs
+
+    def test_chain_count_capped_at_flop_count(self):
+        circuit = build_counter(3)
+        instrumented = instrument_state_scan(circuit, num_chains=99)
+        assert instrumented.num_chains == 3
+
+    def test_flop_budget_unchanged(self):
+        circuit = build_counter(6)
+        single = instrument_state_scan(circuit, num_chains=1)
+        multi = instrument_state_scan(circuit, num_chains=3)
+        assert single.netlist.num_ffs == multi.netlist.num_ffs
+
+    def test_zero_chains_rejected(self):
+        with pytest.raises(InstrumentationError):
+            instrument_state_scan(build_counter(4), num_chains=0)
+
+
+@pytest.mark.parametrize("num_chains", [1, 2, 3, 5])
+def test_multichain_protocol_matches_oracle(num_chains):
+    circuit = build_shift_register(5)
+    bench = random_testbench(circuit, 12, seed=31)
+    faults = exhaustive_fault_list(circuit, 12)
+    oracle = grade_faults(circuit, bench, faults)
+    instrumented = instrument_state_scan(circuit, num_chains=num_chains)
+    driver = _Driver(instrumented, bench)
+    for index, fault in enumerate(faults):
+        outcome = drive_state_scan(instrumented, bench, fault, driver=driver)
+        assert outcome.verdict is oracle.verdict(index), fault.describe()
+
+
+class TestCampaignAccounting:
+    def test_scan_cost_divides_by_chains(self):
+        circuit = build_shift_register(8)
+        bench = random_testbench(circuit, 10, seed=5)
+        faults = exhaustive_fault_list(circuit, 10)
+        oracle = grade_faults(circuit, bench, faults)
+        single = run_campaign(
+            circuit, bench, "state_scan", faults=faults, oracle=oracle
+        )
+        quad = run_campaign(
+            circuit, bench, "state_scan", faults=faults, oracle=oracle,
+            scan_chains=4,
+        )
+        # setup = faults * (scan_in + 1): 8 -> 2 cycles of scan-in
+        assert single.breakdown.setup == len(faults) * (8 + 1)
+        assert quad.breakdown.setup == len(faults) * (2 + 1)
+        # run/readback identical
+        assert single.breakdown.run == quad.breakdown.run
+
+    def test_chains_only_affect_state_scan_setup(self):
+        circuit = build_shift_register(8)
+        bench = random_testbench(circuit, 10, seed=5)
+        faults = exhaustive_fault_list(circuit, 10)
+        oracle = grade_faults(circuit, bench, faults)
+        a = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle
+        )
+        b = run_campaign(
+            circuit, bench, "mask_scan", faults=faults, oracle=oracle,
+            scan_chains=4,
+        )
+        assert a.total_cycles == b.total_cycles
+
+    def test_invalid_chain_count_rejected(self):
+        circuit = build_shift_register(4)
+        bench = random_testbench(circuit, 6, seed=5)
+        with pytest.raises(CampaignError):
+            run_campaign(circuit, bench, "state_scan", scan_chains=0)
+
+    def test_many_chains_close_gap_to_time_mux(self):
+        """With enough chains, state-scan's per-fault cost approaches the
+        replay tail alone — the knob trades ports for speed."""
+        circuit = build_shift_register(16)
+        bench = random_testbench(circuit, 12, seed=6)
+        faults = exhaustive_fault_list(circuit, 12)
+        oracle = grade_faults(circuit, bench, faults)
+        costs = {
+            chains: run_campaign(
+                circuit, bench, "state_scan", faults=faults, oracle=oracle,
+                scan_chains=chains,
+            ).total_cycles
+            for chains in (1, 2, 4, 16)
+        }
+        assert costs[16] < costs[4] < costs[2] < costs[1]

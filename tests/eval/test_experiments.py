@@ -1,0 +1,171 @@
+"""Tests for the experiment harness.
+
+Full-scale b14 experiments run in benchmarks; here the same machinery is
+exercised on reduced configurations (shorter testbenches, smaller sweep
+grids) plus shape checks on the paper-claim validators.
+"""
+
+import pytest
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+from repro.eval.classification import run_classification_experiment
+from repro.eval.crossover import run_crossover_experiment
+from repro.eval.figure1 import INSTRUMENT_FLOP_ROLES, run_figure1_census
+from repro.eval.paper import (
+    PAPER_B14,
+    PAPER_BASELINES,
+    PAPER_CLASSIFICATION,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from repro.eval.speedup import run_speedup_experiment
+from repro.eval.table1 import run_table1_experiment
+from repro.eval.table2 import run_table2_experiment
+from tests.conftest import build_counter
+
+
+@pytest.fixture(scope="module")
+def small_b14_setup():
+    """b14 with a short testbench: full pipeline, minutes -> seconds."""
+    circuit = build_b14()
+    bench = b14_program_testbench(circuit, 24, seed=1)
+    return circuit, bench
+
+
+class TestPaperConstants:
+    def test_table1_has_all_techniques(self):
+        assert set(PAPER_TABLE1) == {
+            "original", "mask_scan", "state_scan", "time_multiplexed"
+        }
+
+    def test_table2_figures(self):
+        assert PAPER_TABLE2["time_multiplexed"]["us_per_fault"] == 0.58
+        assert PAPER_TABLE2["state_scan"]["emulation_ms"] == 386.40
+
+    def test_classification_sums_to_100(self):
+        assert sum(PAPER_CLASSIFICATION.values()) == pytest.approx(100.0)
+
+    def test_scale(self):
+        assert PAPER_B14["faults"] == 34_400
+        assert PAPER_B14["flip_flops"] * PAPER_B14["stimulus_vectors"] == 34_400
+
+
+class TestTable1:
+    def test_rows_and_overheads(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_table1_experiment(circuit, num_cycles=bench.num_cycles)
+        assert set(result.summaries) == {
+            "mask_scan", "state_scan", "time_multiplexed"
+        }
+        for summary in result.summaries.values():
+            assert summary.modified.luts > result.original.luts
+            assert summary.system.luts > summary.modified.luts
+        text = result.render()
+        assert "Table 1" in text and "paper reference" in text
+
+    def test_ff_ratios_match_paper_structure(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_table1_experiment(circuit, num_cycles=bench.num_cycles)
+        n = circuit.num_ffs
+        assert result.summaries["mask_scan"].modified.ffs == 2 * n
+        assert result.summaries["state_scan"].modified.ffs == 2 * n
+        assert result.summaries["time_multiplexed"].modified.ffs == 4 * n
+
+    def test_works_on_other_circuits(self, counter):
+        result = run_table1_experiment(counter, num_cycles=16)
+        assert result.circuit == counter.name
+
+
+class TestTable2:
+    def test_ordering_matches_paper(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_table2_experiment(circuit, bench)
+        assert result.fastest() == "time_multiplexed"
+        mask = result.campaigns["mask_scan"].timing.cycles_per_fault
+        state = result.campaigns["state_scan"].timing.cycles_per_fault
+        tmux = result.campaigns["time_multiplexed"].timing.cycles_per_fault
+        # the paper's b14 regime: N > T, so state-scan slowest
+        assert tmux < mask < state
+
+    def test_render_includes_paper_numbers(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        text = run_table2_experiment(circuit, bench).render()
+        assert "141.11" in text  # paper's mask-scan ms
+
+
+class TestClassification:
+    def test_shape_on_b14(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_classification_experiment(circuit, bench)
+        pct = result.percentages
+        assert sum(pct.values()) == pytest.approx(100.0)
+        # processor shape: failures and silents dominate, latent residual
+        assert pct["failure"] > 20
+        assert pct["silent"] > 15
+        # short benches inflate latent counts (less time to flush or fail);
+        # the full 160-cycle run lands near the paper's 4.4 %
+        assert pct["latent"] < 45
+
+    def test_latency_stats_positive(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_classification_experiment(circuit, bench)
+        assert result.mean_failure_latency() >= 0
+        assert result.mean_silent_latency() >= 0
+
+    def test_render(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        text = run_classification_experiment(circuit, bench).render()
+        assert "49.2" in text  # paper reference column
+
+
+class TestSpeedup:
+    def test_autonomous_beats_baselines(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_speedup_experiment(circuit, bench)
+        for technique in ("mask_scan", "state_scan", "time_multiplexed"):
+            assert result.speedup(technique, "fault simulation") > 10
+            assert result.speedup(technique, "host-driven emulation [2]") > 1
+
+    def test_baseline_magnitudes(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        result = run_speedup_experiment(circuit, bench)
+        sim_us = result.us_per_fault["fault simulation"]
+        host_us = result.us_per_fault["host-driven emulation [2]"]
+        # same orders of magnitude as the paper's 1300 / 100
+        assert 100 < sim_us < 20_000
+        assert 10 < host_us < 1_000
+        assert PAPER_BASELINES["fault_simulation_us_per_fault"] == 1300.0
+
+    def test_render(self, small_b14_setup):
+        circuit, bench = small_b14_setup
+        text = run_speedup_experiment(circuit, bench).render()
+        assert "speedup" in text
+
+
+class TestCrossover:
+    def test_small_sweep_claims(self):
+        result = run_crossover_experiment(
+            flop_budgets=(32, 64), cycle_counts=(24, 256), seed=5
+        )
+        claims = result.paper_claims_hold()
+        assert claims["time_mux_always_fastest"]
+        assert claims["state_scan_wins_when_cycles_exceed_flops"]
+
+    def test_render_has_all_cells(self):
+        result = run_crossover_experiment(
+            flop_budgets=(32,), cycle_counts=(24, 96), seed=5
+        )
+        assert len(result.points) == 2
+        assert "state-scan wins" in result.render()
+
+
+class TestFigure1:
+    def test_census_matches_figure(self):
+        census = run_figure1_census()
+        assert census.flops_per_bit == {role: 1 for role in INSTRUMENT_FLOP_ROLES}
+        assert census.gates_added_per_bit > 4
+        assert "tm_state_diff" in census.control_outputs
+
+    def test_render(self):
+        text = run_figure1_census().render()
+        assert "golden flip-flop" in text

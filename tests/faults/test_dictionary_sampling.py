@@ -1,0 +1,132 @@
+"""Unit tests for the fault dictionary and statistical sampling."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.faults.classify import FaultClass
+from repro.faults.dictionary import FaultDictionary, FaultRecord
+from repro.faults.model import SeuFault, exhaustive_fault_list
+from repro.faults.sampling import (
+    SampleEstimate,
+    sample_fault_list,
+    wilson_interval,
+)
+from tests.conftest import build_counter
+
+
+def make_dictionary():
+    d = FaultDictionary(num_cycles=10, flop_names=["a", "b"])
+    d.add(FaultRecord(SeuFault(0, 0, "a"), FaultClass.FAILURE, 2, -1))
+    d.add(FaultRecord(SeuFault(1, 0, "a"), FaultClass.FAILURE, 1, -1))
+    d.add(FaultRecord(SeuFault(2, 1, "b"), FaultClass.SILENT, -1, 4))
+    d.add(FaultRecord(SeuFault(3, 1, "b"), FaultClass.LATENT, -1, -1))
+    return d
+
+
+class TestDictionary:
+    def test_counts(self):
+        counts = make_dictionary().counts()
+        assert counts[FaultClass.FAILURE] == 2
+        assert counts[FaultClass.SILENT] == 1
+        assert counts[FaultClass.LATENT] == 1
+
+    def test_percentages_sum_to_100(self):
+        pct = make_dictionary().percentages()
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_per_flop_failures(self):
+        failures = make_dictionary().per_flop_failures()
+        assert failures == {"a": 2, "b": 0}
+
+    def test_weakest_flops_ranked(self):
+        ranked = make_dictionary().weakest_flops(2)
+        assert ranked[0] == ("a", 2)
+
+    def test_latency_definitions(self):
+        d = make_dictionary()
+        records = list(d)
+        # failure at cycle 2 injected at 0 -> latency 2
+        assert records[0].latency(10) == 2
+        # silent vanish at 4 injected at 2 -> latency 2
+        assert records[2].latency(10) == 2
+        # latent injected at 3 -> runs to end: 10 - 3
+        assert records[3].latency(10) == 7
+
+    def test_mean_latency_filter(self):
+        d = make_dictionary()
+        # failure latencies: (2-0)=2 and (1-1)=0 -> mean 1.0
+        assert d.mean_latency(FaultClass.FAILURE) == pytest.approx(1.0)
+        assert d.mean_latency(FaultClass.LATENT) == pytest.approx(7.0)
+
+    def test_mean_latency_empty_is_zero(self):
+        d = FaultDictionary(5, ["x"])
+        assert d.mean_latency() == 0.0
+
+    def test_fault_outside_testbench_rejected(self):
+        d = FaultDictionary(5, ["x"])
+        with pytest.raises(CampaignError):
+            d.add(FaultRecord(SeuFault(5, 0, "x"), FaultClass.LATENT, -1, -1))
+
+    def test_summary_mentions_counts(self):
+        text = make_dictionary().summary()
+        assert "4 faults" in text
+        assert "failure" in text
+
+
+class TestSampling:
+    def test_sample_is_deterministic(self):
+        counter = build_counter(4)
+        faults = exhaustive_fault_list(counter, 20)
+        a = sample_fault_list(faults, 10, seed=3)
+        b = sample_fault_list(faults, 10, seed=3)
+        assert a == b
+
+    def test_sample_sorted_cycle_major(self):
+        counter = build_counter(4)
+        faults = exhaustive_fault_list(counter, 20)
+        sample = sample_fault_list(faults, 15, seed=1)
+        assert sample == sorted(sample)
+
+    def test_sample_size_validated(self):
+        counter = build_counter(2)
+        faults = exhaustive_fault_list(counter, 2)
+        with pytest.raises(CampaignError):
+            sample_fault_list(faults, 0)
+        with pytest.raises(CampaignError):
+            sample_fault_list(faults, 100)
+
+
+class TestWilson:
+    def test_interval_contains_point_estimate(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+
+    def test_narrows_with_more_trials(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_big, high_big = wilson_interval(500, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_edge_cases_stay_in_unit_interval(self):
+        low, high = wilson_interval(0, 20)
+        assert low == pytest.approx(0.0, abs=1e-9) and high < 0.3
+        low, high = wilson_interval(20, 20)
+        assert high == pytest.approx(1.0, abs=1e-9) and low > 0.7
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            wilson_interval(1, 0)
+        with pytest.raises(CampaignError):
+            wilson_interval(5, 3)
+        with pytest.raises(CampaignError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    def test_z_score_95_matches_known_value(self):
+        from repro.faults.sampling import _z_score
+
+        assert _z_score(0.95) == pytest.approx(1.95996, abs=1e-3)
+
+    def test_estimate_describe(self):
+        estimate = SampleEstimate(successes=49, trials=100)
+        text = estimate.describe()
+        assert "49.0 %" in text
+        assert "@95%" in text

@@ -1,0 +1,99 @@
+"""Unit tests for the SEU fault model and classification rules."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.faults.classify import (
+    FaultClass,
+    classification_counts,
+    classification_percentages,
+    classify_outcome,
+)
+from repro.faults.model import SeuFault, exhaustive_fault_list, faults_for_flop
+from tests.conftest import build_counter
+
+
+class TestSeuFault:
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            SeuFault(cycle=-1, flop_index=0)
+        with pytest.raises(CampaignError):
+            SeuFault(cycle=0, flop_index=-2)
+
+    def test_ordering_is_cycle_major(self):
+        faults = [SeuFault(cycle=1, flop_index=0), SeuFault(cycle=0, flop_index=5)]
+        assert sorted(faults)[0].cycle == 0
+
+    def test_describe(self):
+        assert "pc" in SeuFault(cycle=3, flop_index=1, flop_name="pc").describe()
+        assert "cycle 3" in SeuFault(cycle=3, flop_index=1).describe()
+
+
+class TestFaultLists:
+    def test_exhaustive_count_is_n_times_t(self):
+        counter = build_counter(4)
+        faults = exhaustive_fault_list(counter, 10)
+        assert len(faults) == 4 * 10
+
+    def test_exhaustive_matches_paper_scale(self):
+        # the b14 experiment: 215 flops x 160 cycles = 34,400
+        counter = build_counter(4)
+        names = [f"ff{i}" for i in range(215)]
+        faults = exhaustive_fault_list(counter, 160, flop_names=names)
+        assert len(faults) == 34_400
+
+    def test_cycle_major_order(self):
+        counter = build_counter(3)
+        faults = exhaustive_fault_list(counter, 4)
+        cycles = [fault.cycle for fault in faults]
+        assert cycles == sorted(cycles)
+
+    def test_flop_names_attached(self):
+        counter = build_counter(2)
+        faults = exhaustive_fault_list(counter, 1)
+        assert faults[0].flop_name == counter.ff_names()[0]
+
+    def test_zero_cycles_rejected(self):
+        counter = build_counter(2)
+        with pytest.raises(CampaignError):
+            exhaustive_fault_list(counter, 0)
+
+    def test_faults_for_flop(self):
+        counter = build_counter(3)
+        faults = faults_for_flop(counter, 1, 6)
+        assert len(faults) == 6
+        assert all(f.flop_index == 1 for f in faults)
+
+    def test_faults_for_bad_flop(self):
+        counter = build_counter(3)
+        with pytest.raises(CampaignError):
+            faults_for_flop(counter, 9, 6)
+
+
+class TestClassification:
+    def test_failure_dominates(self):
+        assert classify_outcome(5, 7) is FaultClass.FAILURE
+        assert classify_outcome(5, -1) is FaultClass.FAILURE
+        # even when the state converged before the failure was seen
+        assert classify_outcome(5, 2) is FaultClass.FAILURE
+
+    def test_silent(self):
+        assert classify_outcome(-1, 3) is FaultClass.SILENT
+
+    def test_latent(self):
+        assert classify_outcome(-1, -1) is FaultClass.LATENT
+
+    def test_counts_and_percentages(self):
+        verdicts = [FaultClass.FAILURE] * 3 + [FaultClass.SILENT]
+        counts = classification_counts(verdicts)
+        assert counts[FaultClass.FAILURE] == 3
+        assert counts[FaultClass.LATENT] == 0
+        pct = classification_percentages(counts)
+        assert pct[FaultClass.FAILURE] == 75.0
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_percentages_of_nothing(self):
+        pct = classification_percentages(
+            {FaultClass.FAILURE: 0, FaultClass.LATENT: 0, FaultClass.SILENT: 0}
+        )
+        assert all(value == 0.0 for value in pct.values())

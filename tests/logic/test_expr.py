@@ -1,0 +1,93 @@
+"""Unit tests for the boolean expression IR."""
+
+import pytest
+
+from repro.logic.expr import (
+    Lit,
+    Op,
+    Var,
+    cofactor,
+    eval_expr,
+    expr_support,
+    expr_truth_table,
+    mux,
+)
+
+
+class TestConstruction:
+    def test_operators_build_ops(self):
+        a, b = Var("a"), Var("b")
+        assert isinstance(a & b, Op)
+        assert (a | b).gate == "or"
+        assert (a ^ b).gate == "xor"
+        assert (~a).gate == "inv"
+
+    def test_lit_validation(self):
+        with pytest.raises(ValueError):
+            Lit(2)
+
+    def test_equality_and_hash(self):
+        assert Var("x") == Var("x")
+        assert Lit(1) == Lit(1)
+        assert hash(Var("x")) == hash(Var("x"))
+        assert Var("x") != Var("y")
+
+
+class TestEval:
+    def test_simple(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        assert eval_expr(expr, {"a": 1, "b": 1, "c": 1}) == 1
+        assert eval_expr(expr, {"a": 0, "b": 1, "c": 1}) == 0
+        assert eval_expr(expr, {"a": 0, "b": 0, "c": 0}) == 1
+
+    def test_mux(self):
+        expr = mux(Var("s"), Var("x"), Var("y"))
+        assert eval_expr(expr, {"s": 0, "x": 1, "y": 0}) == 1
+        assert eval_expr(expr, {"s": 1, "x": 1, "y": 0}) == 0
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            eval_expr(Var("missing"), {})
+
+
+class TestSupport:
+    def test_collects_variables(self):
+        expr = (Var("a") & Var("b")) ^ Var("a")
+        assert expr_support(expr) == {"a", "b"}
+
+    def test_literal_has_empty_support(self):
+        assert expr_support(Lit(0)) == frozenset()
+
+
+class TestCofactor:
+    def test_substitutes_and_folds(self):
+        expr = Var("a") & Var("b")
+        positive = cofactor(expr, "a", 1)
+        # a=1 -> expr reduces to just b-dependence
+        assert eval_expr(positive, {"b": 1}) == 1
+        assert eval_expr(positive, {"b": 0}) == 0
+        negative = cofactor(expr, "a", 0)
+        assert isinstance(negative, Lit) and negative.value == 0
+
+    def test_shannon_expansion_identity(self):
+        # f = s ? f|s=1 : f|s=0 for all assignments
+        f = (Var("s") & Var("x")) | (~Var("s") & Var("y")) ^ Var("x")
+        for s in (0, 1):
+            for x in (0, 1):
+                for y in (0, 1):
+                    full = eval_expr(f, {"s": s, "x": x, "y": y})
+                    reduced = eval_expr(cofactor(f, "s", s), {"x": x, "y": y})
+                    assert full == reduced
+
+
+class TestTruthTable:
+    def test_and_table(self):
+        expr = Var("a") & Var("b")
+        assert expr_truth_table(expr, ["a", "b"]) == 0b1000
+
+    def test_variable_order_matters(self):
+        expr = Var("a") & ~Var("b")
+        ab = expr_truth_table(expr, ["a", "b"])
+        ba = expr_truth_table(expr, ["b", "a"])
+        assert ab == 0b0010
+        assert ba == 0b0100

@@ -1,0 +1,93 @@
+"""Unit tests for gate semantics and truth tables."""
+
+import itertools
+
+import pytest
+
+from repro.logic.tables import GATE_ARITY, GATE_NAMES, eval_gate, truth_table
+from repro.logic.values import X
+
+
+class TestGateEval:
+    def test_and_nary(self):
+        assert eval_gate("and", [1, 1, 1]) == 1
+        assert eval_gate("and", [1, 0, 1]) == 0
+
+    def test_or_nary(self):
+        assert eval_gate("or", [0, 0, 0]) == 0
+        assert eval_gate("or", [0, 1, 0]) == 1
+
+    def test_nand_nor_invert(self):
+        for inputs in itertools.product((0, 1), repeat=2):
+            assert eval_gate("nand", inputs) == eval_gate("and", inputs) ^ 1
+            assert eval_gate("nor", inputs) == eval_gate("or", inputs) ^ 1
+
+    def test_xor_is_parity(self):
+        assert eval_gate("xor", [1, 1, 1]) == 1
+        assert eval_gate("xor", [1, 1, 0]) == 0
+
+    def test_xnor(self):
+        assert eval_gate("xnor", [1, 1]) == 1
+        assert eval_gate("xnor", [1, 0]) == 0
+
+    def test_buf_inv(self):
+        assert eval_gate("buf", [1]) == 1
+        assert eval_gate("inv", [1]) == 0
+
+    def test_mux2_select(self):
+        # inputs are (select, d0, d1)
+        assert eval_gate("mux2", [0, 0, 1]) == 0
+        assert eval_gate("mux2", [1, 0, 1]) == 1
+
+    def test_mux2_x_select_optimism(self):
+        assert eval_gate("mux2", [X, 1, 1]) == 1
+        assert eval_gate("mux2", [X, 0, 1]) == X
+
+    def test_constants(self):
+        assert eval_gate("const0", []) == 0
+        assert eval_gate("const1", []) == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            eval_gate("nonsense", [0])
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            eval_gate("inv", [0, 1])
+        with pytest.raises(ValueError):
+            eval_gate("and", [1])
+        with pytest.raises(ValueError):
+            eval_gate("mux2", [1, 0])
+
+
+class TestTruthTables:
+    def test_and2(self):
+        assert truth_table("and", 2) == 0b1000
+
+    def test_or2(self):
+        assert truth_table("or", 2) == 0b1110
+
+    def test_xor2(self):
+        assert truth_table("xor", 2) == 0b0110
+
+    def test_inv(self):
+        assert truth_table("inv", 1) == 0b01
+
+    def test_mux2(self):
+        # rows indexed by (d1 d0 select): out = select ? d1 : d0
+        table = truth_table("mux2", 3)
+        for row in range(8):
+            select, d0, d1 = row & 1, (row >> 1) & 1, (row >> 2) & 1
+            expected = d1 if select else d0
+            assert (table >> row) & 1 == expected
+
+    def test_every_gate_has_consistent_table(self):
+        for name in GATE_NAMES:
+            low, high = GATE_ARITY[name]
+            arity = low if low > 0 else 0
+            table = truth_table(name, arity)
+            assert 0 <= table < (1 << (1 << arity))
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            truth_table("mux2", 2)

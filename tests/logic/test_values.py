@@ -1,0 +1,76 @@
+"""Unit tests for three-valued logic primitives."""
+
+import pytest
+
+from repro.logic.values import X, is_known, resolve3, v3_and, v3_not, v3_or, v3_xor
+
+
+class TestNot:
+    def test_known(self):
+        assert v3_not(0) == 1
+        assert v3_not(1) == 0
+
+    def test_x(self):
+        assert v3_not(X) == X
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            v3_not(2)
+
+
+class TestAnd:
+    def test_truth_table(self):
+        assert v3_and(0, 0) == 0
+        assert v3_and(0, 1) == 0
+        assert v3_and(1, 1) == 1
+
+    def test_zero_dominates_x(self):
+        assert v3_and(0, X) == 0
+        assert v3_and(X, 0) == 0
+
+    def test_one_with_x_is_x(self):
+        assert v3_and(1, X) == X
+
+
+class TestOr:
+    def test_truth_table(self):
+        assert v3_or(0, 0) == 0
+        assert v3_or(1, 0) == 1
+
+    def test_one_dominates_x(self):
+        assert v3_or(1, X) == 1
+        assert v3_or(X, 1) == 1
+
+    def test_zero_with_x_is_x(self):
+        assert v3_or(0, X) == X
+
+
+class TestXor:
+    def test_known(self):
+        assert v3_xor(1, 0) == 1
+        assert v3_xor(1, 1) == 0
+
+    def test_any_x_poisons(self):
+        assert v3_xor(0, X) == X
+        assert v3_xor(X, 1) == X
+
+
+class TestResolve:
+    def test_agreement(self):
+        assert resolve3([1, 1, 1]) == 1
+        assert resolve3([0]) == 0
+
+    def test_disagreement_is_x(self):
+        assert resolve3([0, 1]) == X
+
+    def test_x_poisons(self):
+        assert resolve3([1, X]) == X
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            resolve3([])
+
+
+def test_is_known():
+    assert is_known(0) and is_known(1)
+    assert not is_known(X)

@@ -1,0 +1,125 @@
+"""Unit tests for the fluent netlist builder."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.builder import NetlistBuilder
+from repro.sim.cycle import CycleSimulator
+from repro.sim.vectors import Testbench
+
+
+class TestPorts:
+    def test_input_bus(self):
+        b = NetlistBuilder("t")
+        nets = b.inputs("x", 4)
+        assert nets == ["x[0]", "x[1]", "x[2]", "x[3]"]
+
+    def test_output_net_buffers_when_renamed(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        b.output_net("y", a)
+        n = b.build()
+        assert "y" in n.outputs
+        assert n.driver_of("y").gate_type == "buf"
+
+
+class TestGateHelpers:
+    def test_half_adder_truth(self):
+        b = NetlistBuilder("ha")
+        x, y = b.input("x"), b.input("y")
+        b.output_net("s", b.xor_(x, y))
+        b.output_net("c", b.and_(x, y))
+        n = b.build()
+        sim = CycleSimulator(n)
+        for word in range(4):
+            out = sim.step(word)
+            x_v, y_v = word & 1, (word >> 1) & 1
+            assert out & 1 == x_v ^ y_v
+            assert (out >> 1) & 1 == x_v & y_v
+
+    def test_single_input_nary_passthrough(self):
+        b = NetlistBuilder("t")
+        a = b.input("a")
+        assert b.and_(a) == a
+        assert b.or_(a) == a
+
+    def test_empty_nary_rejected(self):
+        b = NetlistBuilder("t")
+        with pytest.raises(NetlistError):
+            b.and_()
+
+    def test_mux_semantics(self):
+        b = NetlistBuilder("m")
+        s, d0, d1 = b.input("s"), b.input("d0"), b.input("d1")
+        b.output_net("y", b.mux(s, d0, d1))
+        sim = CycleSimulator(b.build())
+        # s=1, d1=1, d0=0 -> 1
+        assert sim.step(0b101) == 1
+        # s=0, d0=1 -> 1
+        assert sim.step(0b010) == 1
+        # s=1, d1=0, d0=1 -> 0
+        assert sim.step(0b011) == 0
+
+
+class TestReductions:
+    @pytest.mark.parametrize("width", [1, 2, 4, 5, 16, 17])
+    def test_or_reduce(self, width):
+        b = NetlistBuilder("r")
+        bus = b.inputs("x", width)
+        b.output_net("any", b.or_reduce(bus))
+        sim = CycleSimulator(b.build())
+        assert sim.step(0) == 0
+        assert sim.step(1 << (width - 1)) == 1
+        assert sim.step((1 << width) - 1) == 1
+
+    @pytest.mark.parametrize("width", [2, 4, 9])
+    def test_and_reduce(self, width):
+        b = NetlistBuilder("r")
+        bus = b.inputs("x", width)
+        b.output_net("all", b.and_reduce(bus))
+        sim = CycleSimulator(b.build())
+        assert sim.step((1 << width) - 1) == 1
+        assert sim.step((1 << width) - 2) == 0
+
+    def test_reduce_tree_bounds_fanin(self):
+        b = NetlistBuilder("r")
+        bus = b.inputs("x", 20)
+        b.output_net("y", b.reduce_tree("or", bus, arity=3))
+        n = b.build()
+        assert all(len(g.inputs) <= 3 for g in n.gates.values())
+
+    def test_equal_comparator(self):
+        b = NetlistBuilder("eq")
+        xs = b.inputs("x", 3)
+        ys = b.inputs("y", 3)
+        b.output_net("eq", b.equal(xs, ys))
+        sim = CycleSimulator(b.build())
+        # x=5, y=5 packed as x | y<<3
+        assert sim.step(5 | (5 << 3)) == 1
+        assert sim.step(5 | (4 << 3)) == 0
+
+    def test_equal_width_mismatch_rejected(self):
+        b = NetlistBuilder("eq")
+        xs = b.inputs("x", 3)
+        ys = b.inputs("y", 2)
+        with pytest.raises(NetlistError):
+            b.equal(xs, ys)
+
+
+class TestSequential:
+    def test_register_inits(self):
+        b = NetlistBuilder("reg")
+        ins = b.inputs("d", 4)
+        qs = b.register(ins, "r", init=0b1010)
+        b.outputs("q", qs)
+        n = b.build()
+        sim = CycleSimulator(n)
+        assert sim.get_state() == 0b1010
+
+    def test_dff_names_deterministic(self):
+        b = NetlistBuilder("reg")
+        ins = b.inputs("d", 2)
+        b.register(ins, "r")
+        b.outputs("q", [f"r[{i}]" for i in range(2)])
+        n = b.build()
+        assert n.ff_names() == ["ff$r[0]", "ff$r[1]"]

@@ -1,0 +1,129 @@
+"""Unit tests for the core netlist data structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Dff, Gate, Netlist
+
+
+def small_netlist():
+    n = Netlist("small")
+    n.add_input("a")
+    n.add_input("b")
+    n.add_gate("g1", "and", ["a", "b"], "ab")
+    n.add_dff("r1", "ab", "q", init=0)
+    n.add_gate("g2", "xor", ["q", "a"], "y")
+    n.add_output("y")
+    return n
+
+
+class TestConstruction:
+    def test_counts(self):
+        n = small_netlist()
+        assert n.num_gates == 2
+        assert n.num_ffs == 1
+        assert len(n.inputs) == 2
+        assert len(n.outputs) == 1
+
+    def test_double_driver_rejected(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.add_gate("g3", "or", ["a", "b"], "ab")
+
+    def test_duplicate_instance_name_rejected(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.add_gate("g1", "or", ["a", "b"], "zz")
+        with pytest.raises(NetlistError):
+            n.add_dff("g1", "a", "zz2")
+
+    def test_duplicate_output_rejected(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.add_output("y")
+
+    def test_duplicate_input_rejected(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.add_input("a")
+
+    def test_gate_arity_checked_at_construction(self):
+        with pytest.raises(NetlistError):
+            Gate("bad", "inv", ("a", "b"), "o")
+
+    def test_unknown_gate_type_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("bad", "flurb", ("a",), "o")
+
+    def test_dff_init_validated(self):
+        with pytest.raises(NetlistError):
+            Dff("bad", "d", "q", init=3)
+
+    def test_fresh_net_never_collides(self):
+        n = small_netlist()
+        seen = set(n.nets())
+        for _ in range(100):
+            net = n.fresh_net()
+            assert net not in seen
+            n.add_gate(f"buf_{net}", "buf", ["a"], net)
+            seen.add(net)
+
+
+class TestQueries:
+    def test_driver_of(self):
+        n = small_netlist()
+        assert n.driver_of("a") == "input"
+        assert isinstance(n.driver_of("ab"), Gate)
+        assert isinstance(n.driver_of("q"), Dff)
+
+    def test_driver_of_undriven_raises(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.driver_of("phantom")
+
+    def test_fanout_map(self):
+        n = small_netlist()
+        fanout = n.fanout_map()
+        # net "a" feeds g1 and g2
+        assert {g.name for g in fanout["a"]} == {"g1", "g2"}
+        # "ab" feeds the flop
+        assert [d.name for d in fanout["ab"]] == ["r1"]
+
+    def test_transitive_fanin_crosses_flops(self):
+        n = small_netlist()
+        cone = n.transitive_fanin(["y"])
+        assert {"y", "q", "ab", "a", "b"} <= cone
+
+    def test_removal_releases_net(self):
+        n = small_netlist()
+        n.remove_gate("g2")
+        assert not n.is_driven("y")
+        n.add_gate("g2b", "or", ["q", "b"], "y")
+
+    def test_remove_missing_raises(self):
+        n = small_netlist()
+        with pytest.raises(NetlistError):
+            n.remove_gate("nope")
+        with pytest.raises(NetlistError):
+            n.remove_dff("nope")
+
+
+class TestClone:
+    def test_clone_is_deep_equal(self):
+        n = small_netlist()
+        c = n.clone()
+        assert c.inputs == n.inputs
+        assert c.outputs == n.outputs
+        assert set(c.gates) == set(n.gates)
+        assert set(c.dffs) == set(n.dffs)
+
+    def test_clone_is_independent(self):
+        n = small_netlist()
+        c = n.clone()
+        c.add_gate("extra", "inv", ["a"], c.fresh_net())
+        assert "extra" not in n.gates
+
+    def test_ff_names_order_stable(self):
+        n = small_netlist()
+        n.add_dff("r2", "a", "q2")
+        assert n.ff_names() == ["r1", "r2"]

@@ -1,0 +1,99 @@
+"""Unit tests for levelization and validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.netlist import Netlist
+from repro.netlist.topo import combinational_levels, levelize
+from repro.netlist.validate import validate_netlist
+
+
+def chain(depth: int) -> Netlist:
+    n = Netlist("chain")
+    n.add_input("a")
+    previous = "a"
+    for index in range(depth):
+        out = f"n{index}"
+        n.add_gate(f"g{index}", "inv", [previous], out)
+        previous = out
+    n.add_output(previous)
+    return n
+
+
+class TestLevelize:
+    def test_respects_dependencies(self):
+        n = chain(5)
+        order = [g.name for g in levelize(n)]
+        assert order == [f"g{i}" for i in range(5)]
+
+    def test_flop_breaks_cycles(self):
+        n = Netlist("loop_ok")
+        n.add_gate("g", "inv", ["q"], "d")
+        n.add_dff("r", "d", "q")
+        n.add_output("q")
+        assert [g.name for g in levelize(n)] == ["g"]
+        validate_netlist(n)
+
+    def test_combinational_loop_detected(self):
+        n = Netlist("loop_bad")
+        n.add_gate("g1", "inv", ["b"], "a")
+        n.add_gate("g2", "inv", ["a"], "b")
+        n.add_output("a")
+        with pytest.raises(ValidationError, match="loop"):
+            levelize(n)
+
+    def test_levels_monotone(self):
+        n = chain(7)
+        levels = combinational_levels(n)
+        assert levels == {f"g{i}": i for i in range(7)}
+
+    def test_diamond_level_is_longest_path(self):
+        n = Netlist("diamond")
+        n.add_input("a")
+        n.add_gate("l1", "inv", ["a"], "x")
+        n.add_gate("l2", "inv", ["x"], "y")
+        n.add_gate("join", "and", ["a", "y"], "z")
+        n.add_output("z")
+        assert combinational_levels(n)["join"] == 2
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        validate_netlist(chain(3))
+
+    def test_undriven_gate_input(self):
+        n = Netlist("bad")
+        n.add_gate("g", "inv", ["ghost"], "y")
+        n.add_output("y")
+        with pytest.raises(ValidationError, match="undriven"):
+            validate_netlist(n)
+
+    def test_undriven_flop_d(self):
+        n = Netlist("bad")
+        n.add_dff("r", "ghost", "q")
+        n.add_output("q")
+        with pytest.raises(ValidationError, match="undriven"):
+            validate_netlist(n)
+
+    def test_undriven_output(self):
+        n = Netlist("bad")
+        n.add_input("a")
+        n.add_output("nothing")
+        with pytest.raises(ValidationError):
+            validate_netlist(n)
+
+    def test_dangling_net_flagged_unless_allowed(self):
+        n = chain(2)
+        n.add_gate("dead", "inv", ["a"], "unused")
+        with pytest.raises(ValidationError, match="never used"):
+            validate_netlist(n)
+        validate_netlist(n, allow_dangling=True)
+
+    def test_multiple_problems_reported_together(self):
+        n = Netlist("bad")
+        n.add_gate("g1", "inv", ["ghost1"], "y1")
+        n.add_gate("g2", "inv", ["ghost2"], "y2")
+        n.add_output("y1")
+        n.add_output("y2")
+        with pytest.raises(ValidationError, match="ghost1"):
+            validate_netlist(n)

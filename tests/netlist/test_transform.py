@@ -1,0 +1,117 @@
+"""Unit tests for netlist cleanup transforms."""
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.netlist.transform import (
+    propagate_constants,
+    remove_buffers,
+    sweep_dead_logic,
+)
+from repro.netlist.validate import validate_netlist
+from repro.sim.cycle import CycleSimulator
+from repro.sim.vectors import random_testbench
+
+
+def equivalent(a: Netlist, b: Netlist, cycles: int = 20, seed: int = 3) -> bool:
+    """Random simulation equivalence over shared I/O."""
+    bench = random_testbench(a, cycles, seed=seed)
+    sim_a, sim_b = CycleSimulator(a), CycleSimulator(b)
+    return all(sim_a.step(v) == sim_b.step(v) for v in bench.vectors)
+
+
+class TestRemoveBuffers:
+    def test_internal_buffers_removed(self):
+        b = NetlistBuilder("bufs")
+        a = b.input("a")
+        x = b.buf(b.buf(b.buf(a)))
+        b.output_net("y", b.inv(x))
+        n = b.build()
+        cleaned = remove_buffers(n)
+        internal_bufs = [
+            g for g in cleaned.gates.values()
+            if g.gate_type == "buf" and g.output not in cleaned.outputs
+        ]
+        assert not internal_bufs
+        assert equivalent(n, cleaned)
+
+    def test_output_buffers_kept(self):
+        b = NetlistBuilder("obuf")
+        a = b.input("a")
+        b.output_net("y", a)  # forces an output buffer
+        n = b.build()
+        cleaned = remove_buffers(n)
+        assert "y" in cleaned.outputs
+        validate_netlist(cleaned)
+
+
+class TestPropagateConstants:
+    def test_constant_cone_folds(self):
+        b = NetlistBuilder("konst")
+        a = b.input("a")
+        one = b.const1()
+        zero = b.const0()
+        dead_and = b.and_(one, zero)       # always 0
+        b.output_net("y", b.or_(a, dead_and))  # == a
+        n = b.build()
+        folded = propagate_constants(n)
+        assert equivalent(n, folded)
+        # the and gate must be gone
+        assert not any(g.gate_type == "and" for g in folded.gates.values())
+
+    def test_no_constants_is_identity(self):
+        b = NetlistBuilder("plain")
+        a, c = b.input("a"), b.input("c")
+        b.output_net("y", b.xor_(a, c))
+        n = b.build()
+        folded = propagate_constants(n)
+        assert equivalent(n, folded)
+
+    def test_flops_never_folded(self):
+        b = NetlistBuilder("seq")
+        one = b.const1()
+        q = b.dff(one, q="q", init=0, name="ff$q")
+        b.output_net("y", q)
+        b.input("dummy")
+        n = b.build(allow_dangling=True)
+        folded = propagate_constants(n)
+        assert folded.num_ffs == 1  # flop survives: value differs at t=0
+
+
+class TestSweepDeadLogic:
+    def test_unreachable_gates_removed(self):
+        b = NetlistBuilder("dead")
+        a = b.input("a")
+        b.inv(a)  # dangling
+        b.output_net("y", a)
+        n = b.build(allow_dangling=True)
+        swept = sweep_dead_logic(n)
+        assert swept.num_gates == 1  # only the output buffer survives
+        validate_netlist(swept)
+
+    def test_live_flop_cone_kept(self):
+        b = NetlistBuilder("live")
+        a = b.input("a")
+        q = b.dff(b.xor_(a, "q"), q="q", init=0, name="ff$q")
+        b.output_net("y", q)
+        n = b.build()
+        swept = sweep_dead_logic(n)
+        assert swept.num_ffs == 1
+        assert equivalent(n, swept)
+
+    def test_dead_flop_removed(self):
+        b = NetlistBuilder("deadff")
+        a = b.input("a")
+        b.dff(a, q="never_read", init=0, name="ff$dead")
+        b.output_net("y", b.inv(a))
+        n = b.build(allow_dangling=True)
+        swept = sweep_dead_logic(n)
+        assert swept.num_ffs == 0
+
+    def test_inputs_always_preserved(self):
+        b = NetlistBuilder("iface")
+        b.input("used")
+        b.input("unused")
+        b.output_net("y", b.inv("used"))
+        n = b.build(allow_dangling=True)
+        swept = sweep_dead_logic(n)
+        assert swept.inputs == ["used", "unused"]

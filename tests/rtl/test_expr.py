@@ -1,0 +1,88 @@
+"""Unit tests for the word-level expression IR (construction rules)."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.rtl.expr import (
+    WConst,
+    WSig,
+    cat,
+    const,
+    mux,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+)
+
+
+class TestWidths:
+    def test_signal_width_positive(self):
+        with pytest.raises(ElaborationError):
+            WSig("bad", 0)
+
+    def test_const_fits(self):
+        assert const(4, 15).value == 15
+        with pytest.raises(ElaborationError):
+            const(4, 16)
+        with pytest.raises(ElaborationError):
+            const(0, 0)
+
+    def test_bitwise_width_mismatch(self):
+        with pytest.raises(ElaborationError):
+            _ = WSig("a", 4) & WSig("b", 5)
+
+    def test_arith_width_mismatch(self):
+        with pytest.raises(ElaborationError):
+            _ = WSig("a", 4) + WSig("b", 8)
+
+    def test_compare_produces_one_bit(self):
+        cmp = WSig("a", 8) == WSig("b", 8)
+        assert cmp.width == 1
+        assert (WSig("a", 8) < WSig("b", 8)).width == 1
+
+    def test_mux_select_must_be_one_bit(self):
+        with pytest.raises(ElaborationError):
+            mux(WSig("s", 2), WSig("a", 4), WSig("b", 4))
+
+    def test_mux_arms_equal_width(self):
+        with pytest.raises(ElaborationError):
+            mux(WSig("s", 1), WSig("a", 4), WSig("b", 5))
+
+
+class TestStructure:
+    def test_cat_sums_widths(self):
+        assert cat(WSig("a", 3), WSig("b", 5)).width == 8
+
+    def test_cat_empty_rejected(self):
+        with pytest.raises(ElaborationError):
+            cat()
+
+    def test_slice_bounds(self):
+        sig = WSig("a", 8)
+        assert sig[0:4].width == 4
+        assert sig[7].width == 1
+        with pytest.raises(ElaborationError):
+            _ = sig[5:9]
+        with pytest.raises(ElaborationError):
+            _ = sig[4:4]
+
+    def test_slice_step_rejected(self):
+        with pytest.raises(ElaborationError):
+            _ = WSig("a", 8)[0:8:2]
+
+    def test_shift_preserves_width(self):
+        sig = WSig("a", 8)
+        assert sig.shift_left(3).width == 8
+        assert sig.shift_right(2).width == 8
+
+    def test_zext(self):
+        sig = WSig("a", 4)
+        assert sig.zext(8).width == 8
+        assert sig.zext(4) is sig
+        with pytest.raises(ElaborationError):
+            sig.zext(3)
+
+    def test_reductions_are_one_bit(self):
+        sig = WSig("a", 9)
+        for reduced in (reduce_or(sig), reduce_and(sig), reduce_xor(sig)):
+            assert reduced.width == 1

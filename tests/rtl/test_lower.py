@@ -1,0 +1,160 @@
+"""Unit tests for the structural lowering primitives.
+
+The elaborator tests cover lowering through whole modules; these hit the
+lowering library directly, including the pieces only the controller
+generator uses (decoders, one-hot muxes).
+"""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.netlist.builder import NetlistBuilder
+from repro.rtl import lower
+from repro.sim.cycle import CycleSimulator
+
+
+def evaluate(build):
+    """Helper: build a combinational circuit and return an evaluator."""
+    builder = NetlistBuilder("lower_test")
+    outputs = build(builder)
+    for index, net in enumerate(outputs):
+        builder.output_net(f"o[{index}]", net)
+    netlist = builder.build(allow_dangling=True)
+    sim = CycleSimulator(netlist)
+
+    def run(word):
+        packed = sim.step(word)
+        return [(packed >> i) & 1 for i in range(len(outputs))]
+
+    return run
+
+
+class TestConst:
+    def test_pattern(self):
+        run = evaluate(lambda b: lower.lower_const(b, 6, 0b101101))
+        assert run(0) == [1, 0, 1, 1, 0, 1]
+
+    def test_all_zero_and_all_one(self):
+        run = evaluate(lambda b: lower.lower_const(b, 3, 0))
+        assert run(0) == [0, 0, 0]
+        run = evaluate(lambda b: lower.lower_const(b, 3, 7))
+        assert run(0) == [1, 1, 1]
+
+
+class TestAdders:
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (15, 1), (9, 9), (15, 15)])
+    def test_add_with_carry_in(self, a, b):
+        def build(builder):
+            xs = builder.inputs("x", 4)
+            ys = builder.inputs("y", 4)
+            return lower.lower_add(builder, xs, ys, carry_in=builder.const1())
+
+        run = evaluate(build)
+        bits = run(a | (b << 4))
+        value = sum(bit << i for i, bit in enumerate(bits))
+        assert value == (a + b + 1) & 0xF
+
+    def test_width_mismatch(self):
+        builder = NetlistBuilder("bad")
+        xs = builder.inputs("x", 3)
+        ys = builder.inputs("y", 4)
+        with pytest.raises(ElaborationError):
+            lower.lower_add(builder, xs, ys)
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("lines", [2, 3, 4, 7, 8])
+    def test_one_hot(self, lines):
+        from repro.util.bitops import clog2
+
+        width = max(1, clog2(lines))
+
+        def build(builder):
+            select = builder.inputs("s", width)
+            return lower.lower_decoder(builder, select, lines)
+
+        run = evaluate(build)
+        for value in range(lines):
+            bits = run(value)
+            assert bits == [1 if i == value else 0 for i in range(lines)]
+
+
+class TestOneHotMux:
+    def test_selects_word(self):
+        def build(builder):
+            selects = builder.inputs("sel", 3)
+            words = [
+                lower.lower_const(builder, 4, 0b0011),
+                lower.lower_const(builder, 4, 0b0101),
+                lower.lower_const(builder, 4, 0b1110),
+            ]
+            return lower.lower_onehot_mux(builder, selects, words)
+
+        run = evaluate(build)
+        assert run(0b001) == [1, 1, 0, 0]
+        assert run(0b010) == [1, 0, 1, 0]
+        assert run(0b100) == [0, 1, 1, 1]
+
+    def test_empty_rejected(self):
+        builder = NetlistBuilder("bad")
+        with pytest.raises(ElaborationError):
+            lower.lower_onehot_mux(builder, [], [])
+
+
+class TestShift:
+    def test_left_pads_zero(self):
+        def build(builder):
+            xs = builder.inputs("x", 4)
+            return lower.lower_shift(builder, xs, 2)
+
+        run = evaluate(build)
+        # x = 0b0110 -> bits [0,1,1,0]; << 2 keeps [x0,x1] at [2],[3]
+        assert run(0b0110) == [0, 0, 0, 1]
+
+    def test_right_drops_low_bits(self):
+        def build(builder):
+            xs = builder.inputs("x", 4)
+            return lower.lower_shift(builder, xs, -1)
+
+        run = evaluate(build)
+        assert run(0b0110) == [1, 1, 0, 0]
+
+    def test_shift_beyond_width_is_zero(self):
+        def build(builder):
+            xs = builder.inputs("x", 4)
+            return lower.lower_shift(builder, xs, 9)
+
+        run = evaluate(build)
+        assert run(0b1111) == [0, 0, 0, 0]
+
+
+class TestComparators:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 2), (7, 7), (5, 2), (0, 7)])
+    def test_lt_borrow_chain(self, a, b):
+        def build(builder):
+            xs = builder.inputs("x", 3)
+            ys = builder.inputs("y", 3)
+            return [lower.lower_lt(builder, xs, ys)]
+
+        run = evaluate(build)
+        assert run(a | (b << 3)) == [1 if a < b else 0]
+
+    def test_reduce_ops(self):
+        def build(builder):
+            xs = builder.inputs("x", 5)
+            return [
+                lower.lower_reduce(builder, "or", xs),
+                lower.lower_reduce(builder, "and", xs),
+                lower.lower_reduce(builder, "xor", xs),
+            ]
+
+        run = evaluate(build)
+        assert run(0b00000) == [0, 0, 0]
+        assert run(0b11111) == [1, 1, 1]
+        assert run(0b10101) == [1, 0, 1]
+
+    def test_unknown_reduce_rejected(self):
+        builder = NetlistBuilder("bad")
+        xs = builder.inputs("x", 2)
+        with pytest.raises(ElaborationError):
+            lower.lower_reduce(builder, "nand", xs)

@@ -1,0 +1,139 @@
+"""Unit tests for the scalar cycle simulator and golden traces."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.compile import compile_netlist
+from repro.sim.cycle import (
+    CycleSimulator,
+    replay_single_fault,
+    run_golden,
+)
+from repro.sim.vectors import Testbench, constant_testbench, random_testbench
+from tests.conftest import build_counter, build_shift_register, build_sticky
+
+
+class TestStepping:
+    def test_toggle_alternates(self, toggle):
+        sim = CycleSimulator(toggle)
+        values = [sim.step(0) & 1 for _ in range(6)]
+        assert values == [0, 1, 0, 1, 0, 1]
+
+    def test_counter_counts_when_enabled(self, counter):
+        sim = CycleSimulator(counter)
+        for expected in range(5):
+            out = sim.step(1)  # enable=1
+            assert out & 0xF == expected
+
+    def test_counter_holds_when_disabled(self, counter):
+        sim = CycleSimulator(counter)
+        sim.step(1)
+        sim.step(1)
+        held = sim.step(0) & 0xF
+        assert held == 2
+        assert sim.step(0) & 0xF == 2
+
+    def test_wrap_output(self):
+        counter = build_counter(2)
+        sim = CycleSimulator(counter)
+        wraps = [(sim.step(1) >> 2) & 1 for _ in range(8)]
+        # wrap asserted when the value is 3 (cycles 3 and 7)
+        assert wraps == [0, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_accepts_precompiled(self, counter):
+        compiled = compile_netlist(counter)
+        sim = CycleSimulator(compiled)
+        assert sim.step(1) == 0
+
+
+class TestStateAccess:
+    def test_get_set_state(self, counter):
+        sim = CycleSimulator(counter)
+        sim.set_state(0b1010)
+        assert sim.get_state() == 0b1010
+        assert sim.step(0) & 0xF == 0b1010
+
+    def test_state_bounds_checked(self, counter):
+        sim = CycleSimulator(counter)
+        with pytest.raises(SimulationError):
+            sim.set_state(1 << 10)
+
+    def test_flip_flop_bit(self, counter):
+        sim = CycleSimulator(counter)
+        sim.flip_flop_bit(2)
+        assert sim.get_state() == 0b0100
+        sim.flip_flop_bit(2)
+        assert sim.get_state() == 0
+
+    def test_flip_bad_index(self, counter):
+        sim = CycleSimulator(counter)
+        with pytest.raises(SimulationError):
+            sim.flip_flop_bit(99)
+
+    def test_reset(self, counter):
+        sim = CycleSimulator(counter)
+        sim.step(1)
+        sim.step(1)
+        sim.reset()
+        assert sim.get_state() == 0
+        assert sim.cycle == 0
+
+    def test_peek_net(self, counter):
+        sim = CycleSimulator(counter)
+        sim.step(1)
+        assert sim.peek_net("enable") == 1
+        with pytest.raises(SimulationError):
+            sim.peek_net("nonexistent")
+
+
+class TestGoldenTrace:
+    def test_trace_lengths(self, counter, counter_bench):
+        trace = run_golden(counter, counter_bench)
+        assert len(trace.outputs) == counter_bench.num_cycles
+        assert len(trace.states) == counter_bench.num_cycles + 1
+
+    def test_states_chain_consistently(self, counter, counter_bench):
+        trace = run_golden(counter, counter_bench)
+        sim = CycleSimulator(counter)
+        for cycle, vector in enumerate(counter_bench.vectors):
+            assert sim.get_state() == trace.states[cycle]
+            assert sim.step(vector) == trace.outputs[cycle]
+        assert sim.get_state() == trace.final_state()
+
+    def test_final_state(self, counter):
+        bench = constant_testbench(counter, 5, value=1)
+        trace = run_golden(counter, bench)
+        assert trace.final_state() == 5
+
+
+class TestReplaySingleFault:
+    def test_shift_register_fault_flushes_out(self):
+        shift = build_shift_register(4)
+        bench = constant_testbench(shift, 12, value=0)
+        outcome = replay_single_fault(shift, bench, flop_index=0, inject_cycle=2)
+        # the flipped bit marches to the output (fail) and then leaves (vanish)
+        assert outcome["fail_cycle"] != -1
+        assert outcome["vanish_cycle"] != -1
+        assert outcome["vanish_cycle"] >= outcome["fail_cycle"] - 4
+
+    def test_sticky_fault_is_latent_until_observed(self):
+        sticky = build_sticky()
+        # never observe, never trigger: alarm stays 0, state stays corrupted
+        bench = constant_testbench(sticky, 10, value=0)
+        outcome = replay_single_fault(sticky, bench, flop_index=0, inject_cycle=1)
+        assert outcome["fail_cycle"] == -1
+        assert outcome["vanish_cycle"] == -1
+
+    def test_sticky_fault_fails_when_observed(self):
+        sticky = build_sticky()
+        observe_bit = sticky.inputs.index("observe")
+        vectors = [0] * 10
+        vectors[6] = 1 << observe_bit
+        bench = Testbench(list(sticky.inputs), vectors)
+        outcome = replay_single_fault(sticky, bench, flop_index=0, inject_cycle=1)
+        assert outcome["fail_cycle"] == 6
+
+    def test_injection_at_cycle_zero(self, counter):
+        bench = constant_testbench(counter, 6, value=1)
+        outcome = replay_single_fault(counter, bench, flop_index=3, inject_cycle=0)
+        assert outcome["fail_cycle"] == 0  # value is a direct output

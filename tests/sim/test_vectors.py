@@ -1,0 +1,96 @@
+"""Unit tests for testbench containers and stimulus generators."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.vectors import (
+    Testbench,
+    burst_testbench,
+    concat_testbenches,
+    constant_testbench,
+    random_testbench,
+    walking_ones_testbench,
+)
+from tests.conftest import build_counter
+
+
+class TestContainer:
+    def test_vector_width_checked(self):
+        with pytest.raises(SimulationError):
+            Testbench(["a", "b"], [5])  # 5 needs 3 bits
+
+    def test_bit_access(self):
+        bench = Testbench(["a", "b", "c"], [0b101, 0b010])
+        assert bench.bit(0, 0) == 1
+        assert bench.bit(0, 1) == 0
+        assert bench.bit(1, 1) == 1
+
+    def test_as_dicts(self):
+        bench = Testbench(["x", "y"], [0b10])
+        (row,) = list(bench.as_dicts())
+        assert row == {"x": 0, "y": 1}
+
+    def test_stimulus_bits(self):
+        bench = Testbench(["a", "b"], [0, 1, 2])
+        assert bench.stimulus_bits() == 6
+
+    def test_truncated(self):
+        bench = Testbench(["a"], [0, 1, 0, 1])
+        short = bench.truncated(2)
+        assert short.vectors == [0, 1]
+        assert bench.num_cycles == 4  # original untouched
+
+
+class TestGenerators:
+    def test_random_is_reproducible(self):
+        counter = build_counter()
+        a = random_testbench(counter, 30, seed=5)
+        b = random_testbench(counter, 30, seed=5)
+        assert a.vectors == b.vectors
+
+    def test_random_seed_changes_vectors(self):
+        counter = build_counter()
+        a = random_testbench(counter, 30, seed=5)
+        b = random_testbench(counter, 30, seed=6)
+        assert a.vectors != b.vectors
+
+    def test_random_fits_input_width(self):
+        counter = build_counter()
+        bench = random_testbench(counter, 100, seed=1)
+        assert all(v < 2 for v in bench.vectors)  # counter has 1 input
+
+    def test_burst_holds_values(self):
+        counter = build_counter()
+        bench = burst_testbench(counter, 64, seed=2, burst_length=8)
+        # bursts imply consecutive repeats exist
+        repeats = sum(
+            1 for a, b in zip(bench.vectors, bench.vectors[1:]) if a == b
+        )
+        assert repeats > 16
+
+    def test_walking_ones(self):
+        counter = build_counter()
+        bench = walking_ones_testbench(counter, 4)
+        assert bench.vectors == [1, 1, 1, 1]  # single input wraps
+
+    def test_constant(self):
+        counter = build_counter()
+        bench = constant_testbench(counter, 5, value=1)
+        assert bench.vectors == [1] * 5
+
+    def test_concat(self):
+        counter = build_counter()
+        a = constant_testbench(counter, 3, value=0)
+        b = constant_testbench(counter, 2, value=1)
+        combined = concat_testbenches([a, b])
+        assert combined.vectors == [0, 0, 0, 1, 1]
+
+    def test_concat_input_mismatch_rejected(self):
+        a = Testbench(["x"], [0])
+        b = Testbench(["y"], [0])
+        with pytest.raises(SimulationError):
+            concat_testbenches([a, b])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            concat_testbenches([])

@@ -1,0 +1,137 @@
+"""Tests for the priority-cuts LUT mapper."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.synth.lutmap import decompose_wide_gates, map_to_luts
+from tests.conftest import build_counter
+
+
+class TestBasicMapping:
+    def test_single_gate_is_one_lut(self):
+        b = NetlistBuilder("one")
+        x, y = b.input("x"), b.input("y")
+        b.output_net("z", b.and_(x, y))
+        mapping = map_to_luts(b.build())
+        assert mapping.num_luts == 1
+        assert mapping.depth == 1
+
+    def test_chain_folds_into_one_lut(self):
+        # inv(inv(inv(x))) depends on 1 input -> one 4-LUT
+        b = NetlistBuilder("chain")
+        x = b.input("x")
+        b.output_net("y", b.inv(b.inv(b.inv(x))))
+        mapping = map_to_luts(b.build())
+        assert mapping.num_luts == 1
+
+    def test_wide_cone_splits(self):
+        # 8-input AND tree cannot fit one 4-LUT
+        b = NetlistBuilder("wide")
+        bus = b.inputs("x", 8)
+        b.output_net("y", b.reduce_tree("and", bus, arity=2))
+        mapping = map_to_luts(b.build(), k=4)
+        assert mapping.num_luts >= 2
+        for cut in mapping.luts.values():
+            assert len(cut) <= 4
+
+    def test_k2_mapping(self):
+        b = NetlistBuilder("k2")
+        bus = b.inputs("x", 4)
+        b.output_net("y", b.reduce_tree("xor", bus, arity=2))
+        mapping = map_to_luts(b.build(), k=2)
+        assert mapping.num_luts == 3  # binary tree of 2-LUTs
+        assert all(len(cut) <= 2 for cut in mapping.luts.values())
+
+    def test_k_must_be_at_least_two(self, counter):
+        with pytest.raises(SynthesisError):
+            map_to_luts(counter, k=1)
+
+    def test_flop_boundaries_are_leaves(self, counter):
+        mapping = map_to_luts(counter)
+        q_nets = {dff.q for dff in counter.dffs.values()}
+        # no LUT root is a flop output, but flop outputs may be cut leaves
+        assert not (set(mapping.luts) & q_nets)
+
+    def test_every_root_covered(self, counter):
+        mapping = map_to_luts(counter)
+        gate_outputs = {g.output for g in counter.gates.values()}
+        for dff in counter.dffs.values():
+            if dff.d in gate_outputs:
+                assert dff.d in mapping.luts
+        for net in counter.outputs:
+            if net in gate_outputs:
+                assert net in mapping.luts
+
+    def test_cut_leaves_are_real_nets(self, counter):
+        mapping = map_to_luts(counter)
+        known = counter.all_referenced_nets()
+        for root, cut in mapping.luts.items():
+            assert root in known
+            assert set(cut) <= known
+
+    def test_constants_cost_no_lut(self):
+        b = NetlistBuilder("konst")
+        a = b.input("a")
+        b.output_net("y", b.and_(a, b.const1()))
+        mapping = map_to_luts(b.build())
+        # the and gate absorbs the constant: exactly one LUT
+        assert mapping.num_luts == 1
+
+
+class TestDecomposeWideGates:
+    def test_narrow_untouched(self, counter):
+        assert decompose_wide_gates(counter, 4) is counter
+
+    def test_wide_and_split(self):
+        n = Netlist("wide")
+        for index in range(6):
+            n.add_input(f"i{index}")
+        n.add_gate("big", "and", [f"i{i}" for i in range(6)], "y")
+        n.add_output("y")
+        result = decompose_wide_gates(n, 4)
+        assert all(len(g.inputs) <= 4 for g in result.gates.values())
+        # behaviour preserved
+        from repro.sim.cycle import CycleSimulator
+
+        sim_a, sim_b = CycleSimulator(n), CycleSimulator(result)
+        for word in (0, 63, 62, 31, 55):
+            assert sim_a.step(word) == sim_b.step(word)
+
+    def test_wide_nand_preserves_inversion(self):
+        n = Netlist("widenand")
+        for index in range(7):
+            n.add_input(f"i{index}")
+        n.add_gate("big", "nand", [f"i{i}" for i in range(7)], "y")
+        n.add_output("y")
+        result = decompose_wide_gates(n, 3)
+        from repro.sim.cycle import CycleSimulator
+
+        sim_a, sim_b = CycleSimulator(n), CycleSimulator(result)
+        for word in (0, 127, 126, 64):
+            assert sim_a.step(word) == sim_b.step(word)
+
+    def test_undedecomposable_wide_gate_rejected(self):
+        n = Netlist("widemux")
+        # fabricate an illegally wide buf by bypassing Gate validation is
+        # not possible; instead check the error path via a wide xor with
+        # k below minimum tree arity
+        for index in range(5):
+            n.add_input(f"i{index}")
+        n.add_gate("big", "xor", [f"i{i}" for i in range(5)], "y")
+        n.add_output("y")
+        result = decompose_wide_gates(n, 2)
+        assert all(len(g.inputs) <= 2 for g in result.gates.values())
+
+
+class TestAreaSanity:
+    def test_counter_luts_reasonable(self, counter):
+        mapping = map_to_luts(counter)
+        # 4-bit counter: a handful of LUTs, never more than gate count
+        assert 0 < mapping.num_luts <= counter.num_gates
+
+    def test_mapping_deterministic(self, counter):
+        a = map_to_luts(counter)
+        b = map_to_luts(counter)
+        assert a.luts == b.luts

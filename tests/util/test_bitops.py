@@ -1,0 +1,103 @@
+"""Unit tests for bit-manipulation helpers."""
+
+import pytest
+
+from repro.util.bitops import (
+    bit_count,
+    bits_from_int,
+    bits_to_int,
+    ceil_div,
+    clog2,
+    iter_set_bits,
+    mask,
+)
+
+
+class TestClog2:
+    def test_one_state_needs_zero_bits(self):
+        assert clog2(1) == 0
+
+    def test_exact_powers(self):
+        assert clog2(2) == 1
+        assert clog2(256) == 8
+
+    def test_between_powers_rounds_up(self):
+        assert clog2(3) == 2
+        assert clog2(215) == 8
+        assert clog2(257) == 9
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            clog2(0)
+        with pytest.raises(ValueError):
+            clog2(-4)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(64, 8) == 8
+
+    def test_rounds_up(self):
+        assert ceil_div(65, 8) == 9
+        assert ceil_div(1, 8) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 8) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+
+class TestMask:
+    def test_widths(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(64) == (1 << 64) - 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_dense(self):
+        assert bit_count(0b10110111) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+
+class TestIterSetBits:
+    def test_positions_low_first(self):
+        assert list(iter_set_bits(0b1010010)) == [1, 4, 6]
+
+    def test_empty(self):
+        assert list(iter_set_bits(0)) == []
+
+    def test_large_value(self):
+        value = (1 << 100) | 1
+        assert list(iter_set_bits(value)) == [0, 100]
+
+
+class TestBitsConversion:
+    def test_roundtrip(self):
+        for value in (0, 1, 0b1011, 0xFF, 12345):
+            width = max(1, value.bit_length())
+            assert bits_to_int(bits_from_int(value, width)) == value
+
+    def test_lsb_first(self):
+        assert bits_from_int(0b110, 3) == [0, 1, 1]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            bits_from_int(8, 3)
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])

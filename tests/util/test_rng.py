@@ -1,0 +1,53 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.util.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.word(16) for _ in range(10)] == [b.word(16) for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(8)
+        assert [a.word(32) for _ in range(5)] != [b.word(32) for _ in range(5)]
+
+    def test_fork_is_independent_of_parent_consumption(self):
+        parent1 = DeterministicRng(3)
+        fork_before = parent1.fork("x").word(32)
+        parent2 = DeterministicRng(3)
+        parent2.word(32)  # consume from the parent stream
+        fork_after = parent2.fork("x").word(32)
+        assert fork_before == fork_after
+
+    def test_fork_labels_give_distinct_streams(self):
+        base = DeterministicRng(3)
+        assert base.fork("a").word(32) != base.fork("b").word(32)
+
+
+class TestDraws:
+    def test_word_fits_width(self):
+        rng = DeterministicRng(1)
+        for _ in range(50):
+            assert rng.word(5) < 32
+
+    def test_word_bias_extremes(self):
+        rng = DeterministicRng(1)
+        assert rng.word(16, probability_of_one=0.0) == 0
+        assert rng.word(16, probability_of_one=1.0) == 0xFFFF
+
+    def test_bit_is_binary(self):
+        rng = DeterministicRng(2)
+        assert set(rng.bit() for _ in range(100)) <= {0, 1}
+
+    def test_integer_bounds_inclusive(self):
+        rng = DeterministicRng(4)
+        values = {rng.integer(1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_sample_without_replacement(self):
+        rng = DeterministicRng(5)
+        sample = rng.sample(list(range(20)), 10)
+        assert len(sample) == len(set(sample)) == 10

@@ -1,0 +1,48 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.util.tables import Table, format_si
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(["a", "bb"], title="demo")
+        table.add_row([1, "x"])
+        text = table.render()
+        assert "demo" in text
+        assert "a" in text and "bb" in text
+        assert "1" in text and "x" in text
+
+    def test_columns_align(self):
+        table = Table(["name", "v"])
+        table.add_row(["short", 1])
+        table.add_row(["much_longer_name", 22])
+        lines = table.render().splitlines()
+        # all data/header lines have equal width
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1
+
+    def test_rejects_wrong_cell_count(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_str_equals_render(self):
+        table = Table(["a"])
+        table.add_row([3])
+        assert str(table) == table.render()
+
+
+class TestFormatSi:
+    def test_kilo(self):
+        assert format_si(34400, "bit") == "34.40 kbit"
+
+    def test_mega(self):
+        assert format_si(7.2e6, "bit").startswith("7.20 M")
+
+    def test_unity(self):
+        assert format_si(12.0) == "12.00"
+
+    def test_micro(self):
+        assert "u" in format_si(4.1e-6, "s")
