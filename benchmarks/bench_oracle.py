@@ -1,0 +1,72 @@
+"""Oracle engine benchmark: the us/fault cost of each grading backend.
+
+The functional oracle is the wall-clock bottleneck of every campaign and
+eval table, so this bench tracks each registered engine on the paper's
+b14 setup (34,400 faults x 160 cycles). ``scripts/bench_report.py`` dumps
+the same measurements to ``BENCH_oracle.json`` so the perf trajectory is
+recorded across PRs.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.sim.backends import available_engines, get_engine
+from repro.sim.backends.fused import FusedEngine
+from repro.sim.cache import compiled_for, golden_for
+from repro.sim.parallel import grade_faults
+
+
+@pytest.fixture(scope="module", autouse=True)
+def warm_shared_artifacts(b14, b14_bench):
+    """Pre-build compile/golden caches so each engine bench measures
+    grading alone, not shared setup."""
+    golden_for(compiled_for(b14), b14_bench)
+
+
+@pytest.mark.parametrize("backend", sorted(available_engines()))
+def test_bench_oracle_backend(benchmark, b14, b14_bench, b14_faults, backend):
+    result = once(
+        benchmark, grade_faults, b14, b14_bench, b14_faults, backend=backend
+    )
+    assert len(result.fail_cycles) == len(b14_faults)
+    us_per_fault = benchmark.stats["mean"] * 1e6 / len(b14_faults)
+    print(f"\n{backend}: {us_per_fault:.3f} us/fault on {len(b14_faults)} faults")
+
+
+def test_bench_fused_python_plan(benchmark, b14, b14_bench, b14_faults, monkeypatch):
+    """The fused engine's pure-numpy fallback (no C compiler available)."""
+    monkeypatch.setattr(FusedEngine, "use_native", False)
+    result = once(
+        benchmark, grade_faults, b14, b14_bench, b14_faults, backend="fused"
+    )
+    assert len(result.fail_cycles) == len(b14_faults)
+
+
+class TestOracleSpeedContract:
+    """The acceptance bar this repo holds the default engine to."""
+
+    def test_fused_is_default_and_at_least_5x_numpy(
+        self, b14, b14_bench, b14_faults
+    ):
+        import time
+
+        from repro.sim.parallel import DEFAULT_BACKEND
+
+        assert DEFAULT_BACKEND == "fused"
+        # warm program/plan caches before timing
+        grade_faults(b14, b14_bench, b14_faults, backend="fused")
+
+        started = time.perf_counter()
+        fused = grade_faults(b14, b14_bench, b14_faults, backend="fused")
+        fused_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        reference = grade_faults(b14, b14_bench, b14_faults, backend="numpy")
+        numpy_seconds = time.perf_counter() - started
+
+        assert fused.fail_cycles == reference.fail_cycles
+        assert fused.vanish_cycles == reference.vanish_cycles
+        if get_engine("fused").last_stats.get("native"):
+            assert numpy_seconds / fused_seconds >= 5.0, (
+                f"fused {fused_seconds:.3f}s vs numpy {numpy_seconds:.3f}s"
+            )

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Measure every grading backend on the b14 campaign and dump
+``BENCH_oracle.json`` so future PRs can track the oracle's perf
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--output BENCH_oracle.json]
+
+The JSON records seconds and us/fault per backend (plus the fused
+engine's pure-numpy fallback path), the speedup of each backend over the
+``numpy`` reference, and the campaign shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.circuits.itc99.b14 import b14_program_testbench, build_b14  # noqa: E402
+from repro.eval.paper import PAPER_B14  # noqa: E402
+from repro.faults.model import exhaustive_fault_list  # noqa: E402
+from repro.sim.backends import available_engines, get_engine  # noqa: E402
+from repro.sim.backends.fused import FusedEngine  # noqa: E402
+from repro.sim.cache import compiled_for, golden_for  # noqa: E402
+from repro.sim.parallel import DEFAULT_BACKEND, grade_faults  # noqa: E402
+
+
+def measure(circuit, bench, faults, backend: str, repeats: int) -> dict:
+    """Best-of-N wall clock of one backend (caches pre-warmed)."""
+    reference = None
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = grade_faults(circuit, bench, faults, backend=backend)
+        best = min(best, time.perf_counter() - started)
+        reference = result
+    return {
+        "seconds": round(best, 4),
+        "us_per_fault": round(best * 1e6 / len(faults), 3),
+        "fail_cycles": reference.fail_cycles,
+        "vanish_cycles": reference.vanish_cycles,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_oracle.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    circuit = build_b14()
+    bench = b14_program_testbench(
+        circuit, PAPER_B14["stimulus_vectors"], seed=0
+    )
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    golden_for(compiled_for(circuit), bench)  # shared setup out of the timing
+
+    rows = {}
+    for backend in sorted(available_engines()):
+        rows[backend] = measure(circuit, bench, faults, backend, args.repeats)
+        print(
+            f"{backend:>12}: {rows[backend]['seconds']:7.3f} s "
+            f"({rows[backend]['us_per_fault']:7.3f} us/fault)"
+        )
+    native_used = bool(get_engine("fused").last_stats.get("native"))
+
+    FusedEngine.use_native = False
+    try:
+        rows["fused (numpy plan)"] = measure(
+            circuit, bench, faults, "fused", max(1, args.repeats - 1)
+        )
+        print(
+            f"{'fused-plan':>12}: {rows['fused (numpy plan)']['seconds']:7.3f} s "
+            f"({rows['fused (numpy plan)']['us_per_fault']:7.3f} us/fault)"
+        )
+    finally:
+        FusedEngine.use_native = True
+
+    reference = rows["numpy"]
+    for name, row in rows.items():
+        if row["fail_cycles"] != reference["fail_cycles"] or (
+            row["vanish_cycles"] != reference["vanish_cycles"]
+        ):
+            print(f"ERROR: backend {name!r} disagrees with numpy", file=sys.stderr)
+            return 1
+
+    report = {
+        "circuit": circuit.name,
+        "num_faults": len(faults),
+        "num_cycles": bench.num_cycles,
+        "default_backend": DEFAULT_BACKEND,
+        "fused_native_kernel": native_used,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "backends": {
+            name: {
+                "seconds": row["seconds"],
+                "us_per_fault": row["us_per_fault"],
+                "speedup_vs_numpy": round(
+                    reference["seconds"] / row["seconds"], 2
+                ),
+            }
+            for name, row in rows.items()
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    fused_speedup = report["backends"]["fused"]["speedup_vs_numpy"]
+    print(f"fused speedup vs numpy: {fused_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ from repro.faults.classify import FaultClass
 from repro.faults.dictionary import FaultDictionary
 from repro.faults.model import SeuFault, exhaustive_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import FaultGradingResult, grade_faults
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
 from repro.sim.vectors import Testbench
 
 #: fixed per-fault overhead cycles
@@ -90,20 +90,23 @@ def run_campaign(
     faults: Optional[Sequence[SeuFault]] = None,
     oracle: Optional[FaultGradingResult] = None,
     scan_chains: int = 1,
+    engine: str = DEFAULT_BACKEND,
 ) -> CampaignResult:
     """Run one autonomous-emulation campaign and account its cycles.
 
     ``faults`` defaults to the complete single-fault set (every flop at
     every cycle). A precomputed ``oracle`` may be passed when several
     techniques are evaluated on the same circuit/testbench (the oracle is
-    technique-independent). ``scan_chains`` (state-scan only) splits the
-    shadow register into parallel chains, dividing the per-fault scan-in
-    cost — our extension beyond the paper's single chain.
+    technique-independent); otherwise ``engine`` selects the grading
+    backend (see :func:`repro.sim.backends.available_engines`).
+    ``scan_chains`` (state-scan only) splits the shadow register into
+    parallel chains, dividing the per-fault scan-in cost — our extension
+    beyond the paper's single chain.
     """
     if faults is None:
         faults = exhaustive_fault_list(netlist, testbench.num_cycles)
     if oracle is None:
-        oracle = grade_faults(netlist, testbench, faults)
+        oracle = grade_faults(netlist, testbench, faults, backend=engine)
     elif len(oracle.faults) != len(faults):
         raise CampaignError("oracle does not cover the given fault list")
     if scan_chains < 1:

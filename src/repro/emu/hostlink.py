@@ -19,8 +19,8 @@ from repro.emu.board import RC1000, BoardModel
 from repro.errors import CampaignError
 from repro.faults.model import SeuFault
 from repro.netlist.netlist import Netlist
-from repro.sim.compile import compile_netlist
-from repro.sim.cycle import replay_single_fault, run_golden
+from repro.sim.cache import compiled_for, golden_for
+from repro.sim.cycle import replay_single_fault
 from repro.sim.vectors import Testbench
 
 
@@ -90,8 +90,8 @@ class SoftwareFaultSimModel:
         """Measure our serial fault simulator over a fault sample."""
         if not sample:
             raise CampaignError("need at least one fault to measure")
-        compiled = compile_netlist(netlist)
-        golden = run_golden(compiled, testbench)
+        compiled = compiled_for(netlist)
+        golden = golden_for(compiled, testbench)
         started = time.perf_counter()
         for _ in range(max(1, repetitions)):
             for fault in sample:

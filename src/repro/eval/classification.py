@@ -18,7 +18,7 @@ from repro.faults.classify import FaultClass
 from repro.faults.dictionary import FaultDictionary
 from repro.faults.model import exhaustive_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import grade_faults
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -68,14 +68,21 @@ def run_classification_experiment(
     netlist: Optional[Netlist] = None,
     testbench: Optional[Testbench] = None,
     seed: int = 0,
+    engine: str = DEFAULT_BACKEND,
+    oracle: Optional[FaultGradingResult] = None,
 ) -> ClassificationResult:
-    """Grade the complete single-fault set (paper's C1 setup)."""
+    """Grade the complete single-fault set (paper's C1 setup).
+
+    A precomputed ``oracle`` for the exhaustive fault list may be passed
+    when several experiments share one circuit/testbench.
+    """
     circuit = netlist if netlist is not None else build_b14()
     bench = testbench or b14_program_testbench(
         circuit, PAPER_B14["stimulus_vectors"], seed=seed
     )
     faults = exhaustive_fault_list(circuit, bench.num_cycles)
-    oracle = grade_faults(circuit, bench, faults)
+    if oracle is None:
+        oracle = grade_faults(circuit, bench, faults, backend=engine)
     return ClassificationResult(
         circuit=circuit.name,
         num_faults=len(faults),

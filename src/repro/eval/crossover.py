@@ -19,7 +19,7 @@ from repro.circuits.generators import build_scaled_processor
 from repro.emu.campaign import run_campaign
 from repro.emu.instrument import TECHNIQUES
 from repro.faults.model import exhaustive_fault_list
-from repro.sim.parallel import grade_faults
+from repro.sim.parallel import DEFAULT_BACKEND, grade_faults
 from repro.sim.vectors import random_testbench
 from repro.util.tables import Table
 
@@ -95,6 +95,7 @@ def run_crossover_experiment(
     flop_budgets: Optional[Sequence[int]] = None,
     cycle_counts: Optional[Sequence[int]] = None,
     seed: int = 7,
+    engine: str = DEFAULT_BACKEND,
 ) -> CrossoverResult:
     """Sweep (flip-flops x testbench length) and measure all techniques."""
     budgets = list(flop_budgets or (32, 64, 128))
@@ -105,7 +106,7 @@ def run_crossover_experiment(
         for length in lengths:
             bench = random_testbench(circuit, length, seed=seed)
             faults = exhaustive_fault_list(circuit, length)
-            oracle = grade_faults(circuit, bench, faults)
+            oracle = grade_faults(circuit, bench, faults, backend=engine)
             point = CrossoverPoint(
                 num_flops=circuit.num_ffs, num_cycles=length
             )

@@ -22,19 +22,29 @@ from repro.eval.paper import PAPER_B14
 from repro.eval.speedup import SpeedupResult, run_speedup_experiment
 from repro.eval.table1 import Table1Result, run_table1_experiment
 from repro.eval.table2 import Table2Result, run_table2_experiment
+from repro.faults.model import exhaustive_fault_list
 from repro.netlist.netlist import Netlist
+from repro.sim.parallel import DEFAULT_BACKEND, grade_faults
 from repro.sim.vectors import Testbench
 
 
 @dataclass
 class ExperimentContext:
-    """Shared configuration for a full reproduction run."""
+    """Shared configuration for a full reproduction run.
+
+    ``engine`` selects the fault-grading backend used by every
+    experiment (see :func:`repro.sim.backends.available_engines`); the
+    exhaustive b14 fault set is graded once and the oracle shared across
+    the experiments, with compiled netlists and golden traces reused
+    through the session caches.
+    """
 
     netlist: Optional[Netlist] = None
     testbench: Optional[Testbench] = None
     board: BoardModel = RC1000
     seed: int = 0
     include_crossover: bool = True
+    engine: str = DEFAULT_BACKEND
 
     def resolve(self):
         circuit = self.netlist if self.netlist is not None else build_b14()
@@ -74,13 +84,24 @@ def run_all_experiments(context: Optional[ExperimentContext] = None) -> FullRepo
     context = context or ExperimentContext()
     circuit, bench = context.resolve()
 
+    # The oracle is experiment-independent: grade the exhaustive fault
+    # set once and share it across every b14 experiment.
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    oracle = grade_faults(circuit, bench, faults, backend=context.engine)
+
     table1 = run_table1_experiment(circuit, num_cycles=bench.num_cycles)
-    table2 = run_table2_experiment(circuit, bench, board=context.board)
-    classification = run_classification_experiment(circuit, bench)
-    speedup = run_speedup_experiment(circuit, bench, board=context.board)
+    table2 = run_table2_experiment(
+        circuit, bench, board=context.board, engine=context.engine, oracle=oracle
+    )
+    classification = run_classification_experiment(
+        circuit, bench, engine=context.engine, oracle=oracle
+    )
+    speedup = run_speedup_experiment(
+        circuit, bench, board=context.board, engine=context.engine, oracle=oracle
+    )
     figure1 = run_figure1_census()
     crossover = (
-        run_crossover_experiment(seed=context.seed)
+        run_crossover_experiment(seed=context.seed, engine=context.engine)
         if context.include_crossover
         else None
     )

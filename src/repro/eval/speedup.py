@@ -23,7 +23,7 @@ from repro.eval.paper import PAPER_B14, PAPER_BASELINES, PAPER_TABLE2
 from repro.faults.model import exhaustive_fault_list
 from repro.faults.sampling import sample_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import grade_faults
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -67,18 +67,23 @@ def run_speedup_experiment(
     seed: int = 0,
     measure_software: bool = False,
     software_sample: int = 50,
+    engine: str = DEFAULT_BACKEND,
+    oracle: Optional[FaultGradingResult] = None,
 ) -> SpeedupResult:
     """Assemble the C2 comparison.
 
     ``measure_software`` additionally times our own Python serial fault
     simulator over a sampled fault list (slow; used by the benchmark).
+    A precomputed ``oracle`` for the exhaustive fault list may be passed
+    when several experiments share one circuit/testbench.
     """
     circuit = netlist if netlist is not None else build_b14()
     bench = testbench or b14_program_testbench(
         circuit, PAPER_B14["stimulus_vectors"], seed=seed
     )
     faults = exhaustive_fault_list(circuit, bench.num_cycles)
-    oracle = grade_faults(circuit, bench, faults)
+    if oracle is None:
+        oracle = grade_faults(circuit, bench, faults, backend=engine)
 
     result = SpeedupResult(circuit=circuit.name)
     simulation = SoftwareFaultSimModel()

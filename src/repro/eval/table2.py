@@ -17,7 +17,7 @@ from repro.emu.instrument import TECHNIQUES
 from repro.eval.paper import PAPER_B14, PAPER_TABLE2
 from repro.faults.model import exhaustive_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import grade_faults
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -68,15 +68,23 @@ def run_table2_experiment(
     testbench: Optional[Testbench] = None,
     board: BoardModel = RC1000,
     seed: int = 0,
+    engine: str = DEFAULT_BACKEND,
+    oracle: Optional[FaultGradingResult] = None,
 ) -> Table2Result:
     """Run all three campaigns on the paper's setup (b14, 160 vectors,
-    exhaustive faults) and report Table-2 figures."""
+    exhaustive faults) and report Table-2 figures.
+
+    A precomputed ``oracle`` for the exhaustive fault list may be passed
+    when several experiments share one circuit/testbench (see
+    :func:`repro.eval.experiments.run_all_experiments`).
+    """
     circuit = netlist if netlist is not None else build_b14()
     bench = testbench or b14_program_testbench(
         circuit, PAPER_B14["stimulus_vectors"], seed=seed
     )
     faults = exhaustive_fault_list(circuit, bench.num_cycles)
-    oracle = grade_faults(circuit, bench, faults)
+    if oracle is None:
+        oracle = grade_faults(circuit, bench, faults, backend=engine)
 
     result = Table2Result(circuit=circuit.name)
     for technique in TECHNIQUES:

@@ -1,0 +1,165 @@
+"""The dependency-free bigint grading engine: one fault per int bit.
+
+Nets are arbitrary-precision Python ints, one fault per bit position. This
+engine needs nothing beyond the standard library, which makes it the
+trusted cross-check for the numpy-based engines and the natural choice for
+small runs in constrained environments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.faults.model import SeuFault
+from repro.sim.backends.base import GradingEngine, register_engine
+from repro.sim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND,
+    OP_NOR,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    CompiledNetlist,
+)
+from repro.sim.cycle import GoldenTrace
+from repro.sim.vectors import Testbench
+
+
+@register_engine
+class BigintEngine(GradingEngine):
+    """Bit-parallel grading over Python bigints."""
+
+    name = "bigint"
+
+    def grade(
+        self,
+        compiled: CompiledNetlist,
+        testbench: Testbench,
+        faults: Sequence[SeuFault],
+        golden: GoldenTrace,
+    ) -> Tuple[List[int], List[int]]:
+        num_faults = len(faults)
+        all_ones = (1 << num_faults) - 1
+
+        values = [0] * compiled.num_slots
+
+        injections: Dict[int, List] = {}
+        for index, fault in enumerate(faults):
+            q_slot = compiled.flops[fault.flop_index].q_index
+            injections.setdefault(fault.cycle, []).append((q_slot, 1 << index))
+
+        injected_mask_by_cycle: List[int] = []
+        running = 0
+        by_cycle: Dict[int, int] = {}
+        for index, fault in enumerate(faults):
+            by_cycle[fault.cycle] = by_cycle.get(fault.cycle, 0) | (1 << index)
+        for cycle in range(testbench.num_cycles):
+            running |= by_cycle.get(cycle, 0)
+            injected_mask_by_cycle.append(running)
+
+        reset = golden.states[0]
+        for position, flop in enumerate(compiled.flops):
+            values[flop.q_index] = all_ones if (reset >> position) & 1 else 0
+
+        fail_cycle = [-1] * num_faults
+        vanish_cycle = [-1] * num_faults
+        not_failed = all_ones
+        not_vanished = all_ones
+
+        for cycle in range(testbench.num_cycles):
+            for q_slot, bit in injections.get(cycle, ()):
+                values[q_slot] ^= bit
+
+            vector = testbench.vectors[cycle]
+            for position, slot in enumerate(compiled.input_slots):
+                values[slot] = all_ones if (vector >> position) & 1 else 0
+
+            for opcode, in_slots, out_slot in compiled.ops:
+                if opcode == OP_AND:
+                    row = all_ones
+                    for slot in in_slots:
+                        row &= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_OR:
+                    row = 0
+                    for slot in in_slots:
+                        row |= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_NAND:
+                    row = all_ones
+                    for slot in in_slots:
+                        row &= values[slot]
+                    values[out_slot] = row ^ all_ones
+                elif opcode == OP_NOR:
+                    row = 0
+                    for slot in in_slots:
+                        row |= values[slot]
+                    values[out_slot] = row ^ all_ones
+                elif opcode == OP_XOR:
+                    row = 0
+                    for slot in in_slots:
+                        row ^= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_XNOR:
+                    row = 0
+                    for slot in in_slots:
+                        row ^= values[slot]
+                    values[out_slot] = row ^ all_ones
+                elif opcode == OP_BUF:
+                    values[out_slot] = values[in_slots[0]]
+                elif opcode == OP_INV:
+                    values[out_slot] = values[in_slots[0]] ^ all_ones
+                elif opcode == OP_MUX2:
+                    select = values[in_slots[0]]
+                    values[out_slot] = (select & values[in_slots[2]]) | (
+                        (select ^ all_ones) & values[in_slots[1]]
+                    )
+                elif opcode == OP_CONST0:
+                    values[out_slot] = 0
+                else:  # OP_CONST1
+                    values[out_slot] = all_ones
+
+            golden_out = golden.outputs[cycle]
+            out_diff = 0
+            for position, slot in enumerate(compiled.output_slots):
+                if (golden_out >> position) & 1:
+                    out_diff |= values[slot] ^ all_ones
+                else:
+                    out_diff |= values[slot]
+
+            injected = injected_mask_by_cycle[cycle]
+            newly_failed = out_diff & not_failed & injected
+            while newly_failed:
+                low_bit = newly_failed & -newly_failed
+                fail_cycle[low_bit.bit_length() - 1] = cycle
+                newly_failed ^= low_bit
+            not_failed &= ~(out_diff & injected)
+
+            next_rows = [values[flop.d_index] for flop in compiled.flops]
+            golden_next = golden.states[cycle + 1]
+            state_diff = 0
+            for position, row in enumerate(next_rows):
+                if (golden_next >> position) & 1:
+                    state_diff |= row ^ all_ones
+                else:
+                    state_diff |= row
+            for flop, row in zip(compiled.flops, next_rows):
+                values[flop.q_index] = row
+
+            same = (state_diff ^ all_ones) & all_ones
+            newly_vanished = same & not_vanished & injected
+            while newly_vanished:
+                low_bit = newly_vanished & -newly_vanished
+                vanish_cycle[low_bit.bit_length() - 1] = cycle
+                newly_vanished ^= low_bit
+            not_vanished &= ~(same & injected)
+
+        self.last_stats = {
+            "cycles_executed": testbench.num_cycles,
+            "num_cycles": testbench.num_cycles,
+        }
+        return fail_cycle, vanish_cycle

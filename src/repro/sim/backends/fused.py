@@ -1,0 +1,763 @@
+"""The fused grading engine: batched opcode kernels with early exit.
+
+This is the default oracle backend. It removes the costs that make the
+classic numpy engine the wall-clock bottleneck of b14-scale campaigns:
+
+* **Compilation** — the levelized op program is precompiled once per
+  netlist into struct-of-arrays *op groups*: buffers alias away, gates
+  are rewritten to 2-input form, inverting gates (nand/nor/xnor and inv)
+  fold into their base op plus a per-row invert mask, and a stage
+  scheduler packs independent gates of the same base op into one group
+  (b14: 1738 interpreted ops become a few hundred batched groups). The
+  same pass emits a flat ``(code, a, b, c, out)`` table for the native
+  kernel. Programs are cached per :class:`CompiledNetlist`.
+* **Golden re-unpacking** — golden input/output/state words are
+  pre-expanded once into uint64 mask rows (0 or ~0 per bit), so per-cycle
+  compares are one XOR and an OR-reduction, with ``np.unpackbits`` only
+  on the (usually sparse) newly-resolved words — not over every fault
+  lane every cycle.
+* **Dead lanes and dead cycles** — fault lanes are (stably) sorted by
+  injection cycle and simulated through a sliding window of active
+  64-lane word columns: columns activate when their first fault is
+  injected (seeded from the golden state) and retire once every lane in
+  them has re-converged. When every injected fault has vanished and no
+  injections remain, the cycle loop exits early — resolved campaigns do
+  not pay for the tail of the testbench.
+* **Memory locality** — when a C compiler is available, the per-cycle
+  inner loop runs in a lazily compiled native kernel
+  (:mod:`repro.sim.backends._native`) that executes the whole op program
+  over cache-sized column blocks; the bit-parallel simulation then runs
+  at cache bandwidth instead of DRAM bandwidth. Without a compiler the
+  engine transparently falls back to a pure-numpy *plan*: the program
+  instantiated against a value array with every operand resolved once
+  into zero-copy views or shared gather scratch, executed as a flat list
+  of in-place (``out=``) batched calls — no ``.copy()`` per gate, no
+  per-cycle view construction.
+
+Both execution paths produce bit-identical results; every other engine
+(``numpy``, ``bigint``) and the serial replay are cross-checked against
+them in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from repro.faults.model import SeuFault
+from repro.sim.backends._native import native_kernel
+from repro.sim.backends.base import GradingEngine, register_engine
+from repro.sim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_CONST1,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND,
+    OP_NOR,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    CompiledNetlist,
+)
+from repro.sim.cycle import GoldenTrace
+from repro.sim.vectors import Testbench
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# Kernel shapes a group can take.
+_K_BIN = 0  # base 2-input gate (+ optional per-row invert mask)
+_K_MUX = 1  # 2:1 mux
+
+# Operand-block fetch modes.
+_F_SLICE = 0  # contiguous slot run -> zero-copy view
+_F_ROW = 1  # one slot for every gate -> broadcast row view
+_F_GATHER = 2  # general case -> fancy-index gather
+
+# Instantiated plan step tags (ordered by execution frequency).
+_P_BIN = 0  # ufunc(a, b, out=view)
+_P_GATHER = 1  # values.take(index, 0, buffer)
+_P_BININV = 2  # ufunc(a, b, out=view); view ^= inv_col
+_P_MUX = 3  # view = d0 ^ (select & (d0 ^ d1))
+
+#: base (non-inverting) op of every 2-input gate family
+_BASE_OP = {
+    OP_AND: OP_AND,
+    OP_NAND: OP_AND,
+    OP_OR: OP_OR,
+    OP_NOR: OP_OR,
+    OP_XOR: OP_XOR,
+    OP_XNOR: OP_XOR,
+}
+_INVERTING = frozenset((OP_NAND, OP_NOR, OP_XNOR))
+_UFUNC_OF = {
+    OP_AND: np.bitwise_and,
+    OP_OR: np.bitwise_or,
+    OP_XOR: np.bitwise_xor,
+}
+#: native op table codes: base code + 3 when inverted; 6 = mux
+_NATIVE_CODE = {OP_AND: 0, OP_OR: 1, OP_XOR: 2}
+_NATIVE_MUX = 6
+
+#: instantiated numpy plans kept per program (keyed by word count)
+_MAX_CACHED_PLANS = 4
+
+
+@dataclass
+class FusedProgram:
+    """A compiled netlist lowered to batched struct-of-arrays kernels.
+
+    ``groups`` holds ``(kind, base_op, operands, out_start, out_stop,
+    inv_col, size)`` tuples in execution order; ``operands`` is one fetch
+    descriptor per input block (2 for binary kernels; select/d0/d1 for
+    muxes) — ``(_F_SLICE, start, stop)``, ``(_F_ROW, slot, 0)`` or
+    ``(_F_GATHER, index_array, 0)``. Outputs occupy the contiguous slot
+    range ``[out_start, out_stop)`` so kernels compute straight into the
+    value array. ``inv_col`` is a ``(size, 1)`` uint64 mask (~0 on rows
+    whose gate inverts) or None. ``native_ops`` is the same program as a
+    flat ``(code, a, b, c, out)`` int32 table for the C kernel. Slots are
+    renumbered: primary inputs first, then flop q's, then the remaining
+    source slots, then one produced slot per gate in group order.
+    """
+
+    num_slots: int
+    groups: List[tuple]
+    native_ops: np.ndarray
+    zero_rows: np.ndarray  # rows held at 0 (const0 gates)
+    ones_rows: np.ndarray  # rows held at ~0 (const1 gates)
+    num_inputs: int
+    q_start: int
+    q_stop: int
+    input_slots: np.ndarray
+    output_slots: np.ndarray
+    d_slots: np.ndarray
+    q_slots: np.ndarray
+    #: instantiated (values, plan, ...) per word count — see _instantiate
+    plans: Dict[int, tuple] = field(default_factory=dict, repr=False)
+
+
+_PROGRAM_CACHE: "WeakKeyDictionary[CompiledNetlist, FusedProgram]" = (
+    WeakKeyDictionary()
+)
+
+
+def clear_program_cache() -> None:
+    """Drop all cached fused programs (used by benchmarks and tests)."""
+    _PROGRAM_CACHE.clear()
+
+
+def fused_program_for(compiled: CompiledNetlist) -> FusedProgram:
+    """Session-cached :class:`FusedProgram` for ``compiled``."""
+    try:
+        return _PROGRAM_CACHE[compiled]
+    except KeyError:
+        program = build_fused_program(compiled)
+        _PROGRAM_CACHE[compiled] = program
+        return program
+
+
+def _operand_descriptor(block: List[int]) -> tuple:
+    """Pick the cheapest fetch mode for one operand block."""
+    first = block[0]
+    if all(slot == first for slot in block):
+        return (_F_ROW, first, 0)
+    if all(slot == first + offset for offset, slot in enumerate(block)):
+        return (_F_SLICE, first, first + len(block))
+    return (_F_GATHER, np.array(block, dtype=np.int64), 0)
+
+
+def build_fused_program(compiled: CompiledNetlist) -> FusedProgram:
+    """Lower the levelized op list into batched per-opcode groups."""
+    next_slot = compiled.num_slots
+    const0_old: List[int] = []
+    const1_old: List[int] = []
+    alias = {}  # buf output -> the slot it forwards
+    entries: List[Tuple[int, Tuple[int, ...], int]] = []
+
+    def resolve(slot: int) -> int:
+        while slot in alias:
+            slot = alias[slot]
+        return slot
+
+    # ---- pass 1: 2-input normal form ---------------------------------
+    # Buffers (and degenerate 1-input and/or/xor) alias to their input;
+    # inverters (and 1-input inverting gates) become NOR(a, a) so they
+    # ride the OR family with just an invert-mask row; multi-input
+    # associative gates become chains through temp slots.
+    for opcode, in_slots, out_slot in compiled.ops:
+        in_slots = tuple(resolve(slot) for slot in in_slots)
+        if opcode == OP_CONST0:
+            const0_old.append(out_slot)
+            continue
+        if opcode == OP_CONST1:
+            const1_old.append(out_slot)
+            continue
+        if opcode == OP_MUX2:
+            entries.append((OP_MUX2, in_slots, out_slot))
+            continue
+        if opcode == OP_BUF or (
+            len(in_slots) == 1 and opcode not in _INVERTING and opcode != OP_INV
+        ):
+            alias[out_slot] = in_slots[0]
+            continue
+        if opcode == OP_INV or len(in_slots) == 1:
+            entries.append((OP_NOR, (in_slots[0], in_slots[0]), out_slot))
+            continue
+        chain_op = _BASE_OP[opcode]
+        accumulator = in_slots[0]
+        for middle in in_slots[1:-1]:
+            temp = next_slot
+            next_slot += 1
+            entries.append((chain_op, (accumulator, middle), temp))
+            accumulator = temp
+        entries.append((opcode, (accumulator, in_slots[-1]), out_slot))
+
+    # ---- pass 2: stage scheduling ------------------------------------
+    # Every gate lands in stage 1 + max(stage of producers); gates of one
+    # base-op family at the same stage share a group. Groups of a stage
+    # are mutually independent, so executing groups in (stage, family)
+    # order preserves dataflow while batching far below the op count.
+    slot_stage = {}  # produced slot -> pipeline stage
+    stage_groups: dict = {}  # (stage, family) -> group index
+    groups_members: List[List[Tuple[int, Tuple[int, ...], int]]] = []
+    groups_key: List[tuple] = []
+
+    for opcode, in_slots, out_slot in entries:
+        stage = 0
+        for slot in in_slots:
+            producer = slot_stage.get(slot, -1)
+            if producer >= stage:
+                stage = producer + 1
+        family = (
+            (_K_MUX, OP_MUX2)
+            if opcode == OP_MUX2
+            else (_K_BIN, _BASE_OP[opcode])
+        )
+        key = (stage, family)
+        group_index = stage_groups.get(key)
+        if group_index is None:
+            group_index = len(groups_members)
+            stage_groups[key] = group_index
+            groups_members.append([])
+            groups_key.append(key)
+        groups_members[group_index].append((opcode, in_slots, out_slot))
+        slot_stage[out_slot] = stage
+
+    group_order = sorted(range(len(groups_members)), key=lambda i: groups_key[i])
+    groups_members = [groups_members[i] for i in group_order]
+    groups_family = [groups_key[i][1] for i in group_order]
+
+    # ---- pass 3: slot renumbering ------------------------------------
+    # Sources keep their relative order (inputs, then q's, then the
+    # rest); each group's outputs become one contiguous range.
+    skip = set(const0_old)
+    skip.update(const1_old)
+    skip.update(alias)
+    new_of = {}
+    for slot in range(compiled.num_slots):
+        if slot not in slot_stage and slot not in skip:
+            new_of[slot] = len(new_of)
+    for old in const0_old:
+        new_of[old] = len(new_of)
+    for old in const1_old:
+        new_of[old] = len(new_of)
+    out_ranges: List[Tuple[int, int]] = []
+    cursor = len(new_of)
+    for members in groups_members:
+        # Sort members by their operands' already-renumbered slots: buses
+        # that flow through the circuit in order keep their outputs in
+        # order too, turning downstream operand blocks into zero-copy
+        # slices instead of gathers (every producer ran in an earlier
+        # group, so its new ids are known here).
+        members.sort(
+            key=lambda member: tuple(new_of[slot] for slot in member[1])
+        )
+        start = cursor
+        for _, _, out_slot in members:
+            new_of[out_slot] = cursor
+            cursor += 1
+        out_ranges.append((start, cursor))
+    num_slots = cursor
+
+    # ---- pass 4: emit struct-of-arrays groups + the native op table ---
+    groups: List[tuple] = []
+    native_rows: List[Tuple[int, int, int, int, int]] = []
+    for (kind, base_key), members, (start, stop) in zip(
+        groups_family, groups_members, out_ranges
+    ):
+        size = len(members)
+        num_blocks = 3 if kind == _K_MUX else 2
+        operands = tuple(
+            _operand_descriptor(
+                [new_of[member[1][block]] for member in members]
+            )
+            for block in range(num_blocks)
+        )
+        inv_col = None
+        base_op = OP_MUX2 if kind == _K_MUX else base_key
+        if kind == _K_BIN:
+            inverts = [member[0] in _INVERTING for member in members]
+            base_code = _NATIVE_CODE[base_key]
+            for offset, member in enumerate(members):
+                first = new_of[member[1][0]]
+                second = new_of[member[1][1]]
+                native_rows.append(
+                    (
+                        base_code + (3 if inverts[offset] else 0),
+                        first,
+                        second,
+                        second,
+                        start + offset,
+                    )
+                )
+            if any(inverts):
+                inv_col = np.fromiter(
+                    (_ONES if invert else 0 for invert in inverts),
+                    dtype=np.uint64,
+                    count=size,
+                ).reshape(size, 1)
+        else:
+            for offset, member in enumerate(members):
+                native_rows.append(
+                    (
+                        _NATIVE_MUX,
+                        new_of[member[1][0]],
+                        new_of[member[1][1]],
+                        new_of[member[1][2]],
+                        start + offset,
+                    )
+                )
+        groups.append((kind, base_op, operands, start, stop, inv_col, size))
+
+    def renumber(slot: int) -> int:
+        return new_of[resolve(slot)]
+
+    input_slots = np.array(
+        [renumber(slot) for slot in compiled.input_slots], dtype=np.int64
+    )
+    q_slots = np.array(
+        [renumber(flop.q_index) for flop in compiled.flops], dtype=np.int64
+    )
+    num_inputs = len(input_slots)
+    num_flops = len(q_slots)
+    # compile_netlist assigns inputs then q's first; renumbering keeps
+    # source order, so both blocks stay contiguous at the front.
+    assert list(input_slots) == list(range(num_inputs))
+    assert list(q_slots) == list(range(num_inputs, num_inputs + num_flops))
+
+    return FusedProgram(
+        num_slots=num_slots,
+        groups=groups,
+        native_ops=np.array(native_rows, dtype=np.int32).reshape(-1, 5),
+        zero_rows=np.array(
+            [new_of[slot] for slot in const0_old], dtype=np.int64
+        ),
+        ones_rows=np.array(
+            [new_of[slot] for slot in const1_old], dtype=np.int64
+        ),
+        num_inputs=num_inputs,
+        q_start=num_inputs,
+        q_stop=num_inputs + num_flops,
+        input_slots=input_slots,
+        output_slots=np.array(
+            [renumber(slot) for slot in compiled.output_slots], dtype=np.int64
+        ),
+        d_slots=np.array(
+            [renumber(flop.d_index) for flop in compiled.flops], dtype=np.int64
+        ),
+        q_slots=q_slots,
+    )
+
+
+def _instantiate(program: FusedProgram, num_words: int) -> tuple:
+    """Bind the numpy plan to a value array of ``num_words`` columns.
+
+    Returns ``(values, plan, out_buffer, d_buffer)`` where ``plan`` is
+    the flat list of prepared kernel steps the fallback cycle loop
+    executes. Cached on the program: views and buffers are preallocated,
+    so repeated grade calls of the same shape skip straight to
+    simulation.
+    """
+    try:
+        return program.plans[num_words]
+    except KeyError:
+        pass
+
+    values = np.zeros((program.num_slots, num_words), dtype=np.uint64)
+    if len(program.ones_rows):
+        values[program.ones_rows, :] = _ONES
+
+    plan: List[tuple] = []
+
+    # One shared scratch arena per operand position: gather buffers are
+    # views into it, so every step reuses the same few cache-hot rows
+    # instead of dragging hundreds of cold buffers through memory.
+    scratch_rows = [0, 0, 0]
+    for _, _, operands, _, _, _, _ in program.groups:
+        for position, (mode, payload, _) in enumerate(operands):
+            if mode == _F_GATHER and len(payload) > scratch_rows[position]:
+                scratch_rows[position] = len(payload)
+    scratch = [
+        np.empty((rows, num_words), dtype=np.uint64) if rows else None
+        for rows in scratch_rows
+    ]
+
+    def fetch(descriptor: tuple, position: int):
+        mode, payload, stop = descriptor
+        if mode == _F_SLICE:
+            return values[payload:stop]
+        if mode == _F_ROW:
+            return values[payload]
+        buffer = scratch[position][: len(payload)]
+        plan.append((_P_GATHER, payload, buffer))
+        return buffer
+
+    for kind, base_op, operands, out_start, out_stop, inv_col, _ in program.groups:
+        view = values[out_start:out_stop]
+        if kind == _K_BIN:
+            a = fetch(operands[0], 0)
+            b = fetch(operands[1], 1)
+            if inv_col is None:
+                plan.append((_P_BIN, _UFUNC_OF[base_op], a, b, view))
+            else:
+                plan.append(
+                    (_P_BININV, _UFUNC_OF[base_op], a, b, view, inv_col)
+                )
+        else:
+            select = fetch(operands[0], 0)
+            d0 = fetch(operands[1], 1)
+            d1 = fetch(operands[2], 2)
+            plan.append((_P_MUX, select, d0, d1, view))
+
+    out_buffer = np.empty((len(program.output_slots), num_words), dtype=np.uint64)
+    d_buffer = np.empty((len(program.d_slots), num_words), dtype=np.uint64)
+
+    if len(program.plans) >= _MAX_CACHED_PLANS:
+        program.plans.clear()
+    instance = (values, plan, out_buffer, d_buffer)
+    program.plans[num_words] = instance
+    return instance
+
+
+def _mask_rows(words: Sequence[int], num_bits: int) -> np.ndarray:
+    """Expand packed golden words into per-bit uint64 mask rows (0 / ~0)."""
+    rows = np.zeros((len(words), num_bits), dtype=np.uint64)
+    for index, word in enumerate(words):
+        row = rows[index]
+        position = 0
+        while word:
+            if word & 1:
+                row[position] = _ONES
+            word >>= 1
+            position += 1
+    return rows
+
+
+class _LaneOrder:
+    """Fault lanes stably sorted by injection cycle.
+
+    Sorting makes the injected lane set a prefix at every cycle, which
+    keeps the active word window contiguous and lets injections index the
+    per-cycle slice ``[starts[t], ends[t])``.
+    """
+
+    def __init__(self, program: FusedProgram, faults, num_cycles: int):
+        num_faults = len(faults)
+        cycles = np.fromiter(
+            (fault.cycle for fault in faults), dtype=np.int64, count=num_faults
+        )
+        flop_indices = np.fromiter(
+            (fault.flop_index for fault in faults),
+            dtype=np.int64,
+            count=num_faults,
+        )
+        self.order = np.argsort(cycles, kind="stable")
+        sorted_cycles = cycles[self.order]
+        self.lane_q = program.q_slots[flop_indices[self.order]]
+        self.lane_word = np.arange(num_faults, dtype=np.int64) // 64
+        self.lane_bit = np.left_shift(
+            np.uint64(1), (np.arange(num_faults) % 64).astype(np.uint64)
+        )
+        span = np.arange(num_cycles)
+        self.starts = np.searchsorted(sorted_cycles, span, side="left")
+        self.ends = np.searchsorted(sorted_cycles, span, side="right")
+
+
+@register_engine
+class FusedEngine(GradingEngine):
+    """Batched-kernel grading with lane windowing and early exit."""
+
+    name = "fused"
+
+    #: set False to force the pure-numpy plan path (tests, diagnostics)
+    use_native = True
+
+    def grade(
+        self,
+        compiled: CompiledNetlist,
+        testbench: Testbench,
+        faults: Sequence[SeuFault],
+        golden: GoldenTrace,
+    ) -> Tuple[List[int], List[int]]:
+        program = fused_program_for(compiled)
+        num_faults = len(faults)
+        num_words = (num_faults + 63) // 64
+        num_cycles = testbench.num_cycles
+
+        lanes = _LaneOrder(program, faults, num_cycles)
+
+        # Golden words pre-unpacked to mask rows, once per grade call.
+        in_masks = _mask_rows(testbench.vectors, program.num_inputs)
+        out_masks = _mask_rows(golden.outputs, len(program.output_slots))
+        state_masks = _mask_rows(golden.states, len(program.q_slots))
+
+        # Valid-lane mask per word (the last word may be partial).
+        valid = np.full(num_words, _ONES, dtype=np.uint64)
+        if num_faults % 64:
+            valid[-1] = np.uint64((1 << (num_faults % 64)) - 1)
+
+        fail_sorted = np.full(num_faults, -1, dtype=np.int64)
+        vanish_sorted = np.full(num_faults, -1, dtype=np.int64)
+
+        kernel = native_kernel() if self.use_native else None
+        runner = self._run_native if kernel is not None else self._run_plan
+        executed = runner(
+            kernel,
+            program,
+            lanes,
+            (in_masks, out_masks, state_masks),
+            valid,
+            (num_faults, num_words, num_cycles),
+            fail_sorted,
+            vanish_sorted,
+        )
+
+        self.last_stats = {
+            "cycles_executed": executed,
+            "num_cycles": num_cycles,
+            "num_words": num_words,
+            "num_groups": len(program.groups),
+            "native": kernel is not None,
+        }
+
+        fail_cycle = np.empty(num_faults, dtype=np.int64)
+        vanish_cycle = np.empty(num_faults, dtype=np.int64)
+        fail_cycle[lanes.order] = fail_sorted
+        vanish_cycle[lanes.order] = vanish_sorted
+        return fail_cycle.tolist(), vanish_cycle.tolist()
+
+    # ------------------------------------------------------------------
+    # native path: C cycle kernel over a sliding window of active words
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_native(
+        kernel,
+        program: FusedProgram,
+        lanes: _LaneOrder,
+        masks: tuple,
+        valid: np.ndarray,
+        shape: tuple,
+        fail_sorted: np.ndarray,
+        vanish_sorted: np.ndarray,
+    ) -> int:
+        in_masks, out_masks, state_masks = masks
+        num_faults, num_words, num_cycles = shape
+        q_start = program.q_start
+        q_stop = program.q_stop
+        ops = np.ascontiguousarray(program.native_ops)
+        out_slots = program.output_slots.astype(np.int32)
+        d_slots = program.d_slots.astype(np.int32)
+        num_flops = len(d_slots)
+
+        # Column block sized so the touched rows stay cache-resident.
+        block = max(32, min(4096, 1_200_000 // max(1, program.num_slots * 8)))
+
+        values = np.zeros((program.num_slots, num_words), dtype=np.uint64)
+        if len(program.ones_rows):
+            values[program.ones_rows, :] = _ONES
+        out_diff = np.zeros(num_words, dtype=np.uint64)
+        state_diff = np.zeros(num_words, dtype=np.uint64)
+        d_scratch = np.empty(num_flops * block, dtype=np.uint64)
+
+        injected = np.zeros(num_words, dtype=np.uint64)
+        not_failed = np.zeros(num_words, dtype=np.uint64)
+        not_vanished = np.zeros(num_words, dtype=np.uint64)
+
+        starts = lanes.starts
+        ends = lanes.ends
+        low = 0
+        high = 0
+        executed = 0
+
+        for cycle in range(num_cycles):
+            # activate new columns (seeded golden) and inject faults
+            if ends[cycle] > starts[cycle]:
+                new_high = (ends[cycle] + 63) // 64
+                if new_high > high:
+                    values[q_start:q_stop, high:new_high] = state_masks[cycle][
+                        :, None
+                    ]
+                    not_failed[high:new_high] = valid[high:new_high]
+                    not_vanished[high:new_high] = valid[high:new_high]
+                    high = new_high
+                sl = slice(starts[cycle], ends[cycle])
+                np.bitwise_or.at(injected, lanes.lane_word[sl], lanes.lane_bit[sl])
+                np.bitwise_xor.at(
+                    values,
+                    (lanes.lane_q[sl], lanes.lane_word[sl]),
+                    lanes.lane_bit[sl],
+                )
+
+            if low == high:
+                if ends[cycle] == num_faults:
+                    executed = cycle
+                    break
+                continue
+            executed = cycle + 1
+
+            kernel(
+                values.ctypes.data,
+                num_words,
+                low,
+                high,
+                block,
+                ops.ctypes.data,
+                len(ops),
+                in_masks[cycle].ctypes.data,
+                program.num_inputs,
+                out_slots.ctypes.data,
+                out_masks[cycle].ctypes.data,
+                len(out_slots),
+                out_diff.ctypes.data,
+                d_slots.ctypes.data,
+                state_masks[cycle + 1].ctypes.data,
+                num_flops,
+                q_start,
+                state_diff.ctypes.data,
+                d_scratch.ctypes.data,
+            )
+
+            newly_failed = (
+                out_diff[low:high] & not_failed[low:high] & injected[low:high]
+            )
+            if newly_failed.any():
+                bits = np.unpackbits(
+                    newly_failed.view(np.uint8), bitorder="little"
+                )
+                fail_sorted[np.nonzero(bits)[0] + low * 64] = cycle
+                not_failed[low:high] &= ~newly_failed
+
+            same = ~state_diff[low:high]
+            newly_vanished = same & not_vanished[low:high] & injected[low:high]
+            if newly_vanished.any():
+                bits = np.unpackbits(
+                    newly_vanished.view(np.uint8), bitorder="little"
+                )
+                vanish_sorted[np.nonzero(bits)[0] + low * 64] = cycle
+                not_vanished[low:high] &= ~newly_vanished
+
+            # retire fully re-converged columns; exit once nothing
+            # unresolved remains and no injections are due
+            while low < high and not_vanished[low] == 0:
+                low += 1
+            if ends[cycle] == num_faults and low == high:
+                executed = cycle + 1
+                break
+        else:
+            executed = num_cycles
+        return executed
+
+    # ------------------------------------------------------------------
+    # fallback path: prepared full-width numpy plan
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_plan(
+        kernel,
+        program: FusedProgram,
+        lanes: _LaneOrder,
+        masks: tuple,
+        valid: np.ndarray,
+        shape: tuple,
+        fail_sorted: np.ndarray,
+        vanish_sorted: np.ndarray,
+    ) -> int:
+        del kernel  # unused; same signature as _run_native
+        in_masks, out_masks, state_masks = masks
+        num_faults, num_words, num_cycles = shape
+
+        values, plan, out_buffer, d_buffer = _instantiate(program, num_words)
+        input_view = values[0 : program.num_inputs]
+        q_view = values[program.q_start : program.q_stop]
+        q_view[:] = state_masks[0][:, None]
+
+        injected = np.zeros(num_words, dtype=np.uint64)
+        not_failed = valid.copy()
+        not_vanished = valid.copy()
+
+        bitwise_xor = np.bitwise_xor
+        bitwise_and = np.bitwise_and
+        bitwise_or_reduce = np.bitwise_or.reduce
+        starts = lanes.starts
+        ends = lanes.ends
+        executed = num_cycles
+
+        for cycle in range(num_cycles):
+            if ends[cycle] > starts[cycle]:
+                sl = slice(starts[cycle], ends[cycle])
+                np.bitwise_or.at(injected, lanes.lane_word[sl], lanes.lane_bit[sl])
+                np.bitwise_xor.at(
+                    values,
+                    (lanes.lane_q[sl], lanes.lane_word[sl]),
+                    lanes.lane_bit[sl],
+                )
+
+            input_view[:] = in_masks[cycle][:, None]
+
+            for step in plan:
+                tag = step[0]
+                if tag == _P_BIN:
+                    step[1](step[2], step[3], out=step[4])
+                elif tag == _P_GATHER:
+                    values.take(step[1], 0, step[2])
+                elif tag == _P_BININV:
+                    view = step[4]
+                    step[1](step[2], step[3], out=view)
+                    bitwise_xor(view, step[5], out=view)
+                else:  # _P_MUX: out = d0 ^ (select & (d0 ^ d1))
+                    view = step[4]
+                    bitwise_xor(step[2], step[3], out=view)
+                    bitwise_and(view, step[1], out=view)
+                    bitwise_xor(view, step[2], out=view)
+
+            values.take(program.output_slots, 0, out_buffer)
+            bitwise_xor(out_buffer, out_masks[cycle][:, None], out=out_buffer)
+            out_diff = bitwise_or_reduce(out_buffer, axis=0)
+            newly_failed = out_diff & not_failed & injected
+            if newly_failed.any():
+                bits = np.unpackbits(
+                    newly_failed.view(np.uint8), bitorder="little"
+                )
+                fail_sorted[np.nonzero(bits)[0]] = cycle
+                not_failed &= ~newly_failed
+
+            values.take(program.d_slots, 0, d_buffer)
+            q_view[:] = d_buffer
+            bitwise_xor(d_buffer, state_masks[cycle + 1][:, None], out=d_buffer)
+            state_diff = bitwise_or_reduce(d_buffer, axis=0)
+            np.invert(state_diff, out=state_diff)
+            newly_vanished = state_diff & not_vanished & injected
+            if newly_vanished.any():
+                bits = np.unpackbits(
+                    newly_vanished.view(np.uint8), bitorder="little"
+                )
+                vanish_sorted[np.nonzero(bits)[0]] = cycle
+                not_vanished &= ~newly_vanished
+
+            if ends[cycle] == num_faults and not not_vanished.any():
+                executed = cycle + 1
+                break
+        return executed

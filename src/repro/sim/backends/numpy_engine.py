@@ -1,0 +1,175 @@
+"""The classic numpy grading engine: one fault per uint64 bit lane.
+
+This is the original reference backend: nets are rows of uint64 words (64
+faults per word) and every op of the levelized program is dispatched
+through a Python ``if/elif`` chain each cycle. It is kept as a registered
+engine for cross-checking the fused engine and for bisecting perf
+regressions; production grading uses ``fused``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.model import SeuFault
+from repro.sim.backends.base import GradingEngine, register_engine
+from repro.sim.compile import (
+    OP_AND,
+    OP_BUF,
+    OP_CONST0,
+    OP_INV,
+    OP_MUX2,
+    OP_NAND,
+    OP_NOR,
+    OP_OR,
+    OP_XNOR,
+    OP_XOR,
+    CompiledNetlist,
+)
+from repro.sim.cycle import GoldenTrace
+from repro.sim.vectors import Testbench
+
+
+def _unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Unpack a uint64 word array into a boolean array of ``num_bits``
+    (bit i of word w is fault w*64+i)."""
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little")
+    return bits[:num_bits].astype(bool)
+
+
+@register_engine
+class NumpyEngine(GradingEngine):
+    """Word-parallel grading with per-op Python dispatch."""
+
+    name = "numpy"
+
+    def grade(
+        self,
+        compiled: CompiledNetlist,
+        testbench: Testbench,
+        faults: Sequence[SeuFault],
+        golden: GoldenTrace,
+    ) -> Tuple[List[int], List[int]]:
+        num_faults = len(faults)
+        num_words = (num_faults + 63) // 64
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+        values = np.zeros((compiled.num_slots, num_words), dtype=np.uint64)
+
+        # Group injections by cycle: cycle -> list of (q_slot, word, bit).
+        injections: Dict[int, List] = {}
+        inject_cycle = np.empty(num_faults, dtype=np.int64)
+        for index, fault in enumerate(faults):
+            q_slot = compiled.flops[fault.flop_index].q_index
+            injections.setdefault(fault.cycle, []).append(
+                (q_slot, index // 64, np.uint64(1 << (index % 64)))
+            )
+            inject_cycle[index] = fault.cycle
+
+        # Load the shared reset state.
+        reset = golden.states[0]
+        for position, flop in enumerate(compiled.flops):
+            values[flop.q_index, :] = ones if (reset >> position) & 1 else 0
+
+        fail_cycle = np.full(num_faults, -1, dtype=np.int64)
+        vanish_cycle = np.full(num_faults, -1, dtype=np.int64)
+
+        ops = compiled.ops
+        flops = compiled.flops
+        output_slots = compiled.output_slots
+
+        for cycle in range(testbench.num_cycles):
+            # 1. inject this cycle's faults into the held state
+            for q_slot, word, bit in injections.get(cycle, ()):
+                values[q_slot, word] ^= bit
+
+            # 2. drive inputs (same golden vector for every fault channel)
+            vector = testbench.vectors[cycle]
+            for position, slot in enumerate(compiled.input_slots):
+                values[slot, :] = ones if (vector >> position) & 1 else 0
+
+            # 3. evaluate combinational logic
+            for opcode, in_slots, out_slot in ops:
+                if opcode == OP_AND:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row &= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_OR:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row |= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_NAND:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row &= values[slot]
+                    values[out_slot] = ~row
+                elif opcode == OP_NOR:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row |= values[slot]
+                    values[out_slot] = ~row
+                elif opcode == OP_XOR:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row ^= values[slot]
+                    values[out_slot] = row
+                elif opcode == OP_XNOR:
+                    row = values[in_slots[0]].copy()
+                    for slot in in_slots[1:]:
+                        row ^= values[slot]
+                    values[out_slot] = ~row
+                elif opcode == OP_BUF:
+                    values[out_slot] = values[in_slots[0]]
+                elif opcode == OP_INV:
+                    values[out_slot] = ~values[in_slots[0]]
+                elif opcode == OP_MUX2:
+                    select = values[in_slots[0]]
+                    values[out_slot] = (select & values[in_slots[2]]) | (
+                        ~select & values[in_slots[1]]
+                    )
+                elif opcode == OP_CONST0:
+                    values[out_slot, :] = 0
+                else:  # OP_CONST1
+                    values[out_slot, :] = ones
+
+            # 4. compare outputs against the golden output word
+            golden_out = golden.outputs[cycle]
+            out_diff = np.zeros(num_words, dtype=np.uint64)
+            for position, slot in enumerate(output_slots):
+                if (golden_out >> position) & 1:
+                    out_diff |= ~values[slot]
+                else:
+                    out_diff |= values[slot]
+
+            diff_bits = _unpack_bits(out_diff, num_faults)
+            newly_failed = diff_bits & (fail_cycle == -1) & (inject_cycle <= cycle)
+            fail_cycle[newly_failed] = cycle
+
+            # 5. latch next state and compare against the golden next state
+            next_rows = [values[flop.d_index].copy() for flop in flops]
+            golden_next = golden.states[cycle + 1]
+            state_diff = np.zeros(num_words, dtype=np.uint64)
+            for position, row in enumerate(next_rows):
+                if (golden_next >> position) & 1:
+                    state_diff |= ~row
+                else:
+                    state_diff |= row
+            for flop, row in zip(flops, next_rows):
+                values[flop.q_index] = row
+
+            same_bits = ~_unpack_bits(state_diff, num_faults)
+            newly_vanished = (
+                same_bits & (vanish_cycle == -1) & (inject_cycle <= cycle)
+            )
+            vanish_cycle[newly_vanished] = cycle
+
+        self.last_stats = {
+            "cycles_executed": testbench.num_cycles,
+            "num_cycles": testbench.num_cycles,
+        }
+        return fail_cycle.tolist(), vanish_cycle.tolist()

@@ -1,0 +1,78 @@
+"""Session-scoped simulation caches.
+
+Every experiment in the repo grades the same circuit/testbench pair
+several times (Table 2, the classification split, the speed comparison,
+then any campaign a caller runs on top). Compiling the netlist and
+re-running the golden trace each time is pure waste: both depend only on
+the netlist (and, for the trace, the stimulus), not on the fault list or
+the technique.
+
+This module keeps both artifacts in weak, identity-keyed caches:
+
+* :func:`compiled_for`   — netlist -> :class:`CompiledNetlist`
+* :func:`golden_for`     — (netlist, stimulus vectors) -> :class:`GoldenTrace`
+
+Keys are *identities*: mutating a netlist after it has been compiled will
+serve stale entries, so treat netlists as frozen once simulation starts
+(the rest of the library already does). Entries die with their netlist;
+:func:`clear_caches` drops everything eagerly (benchmarks use it to
+measure cold paths).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.netlist.netlist import Netlist
+from repro.sim.compile import CompiledNetlist, compile_netlist
+from repro.sim.cycle import GoldenTrace, run_golden
+from repro.sim.vectors import Testbench
+
+_COMPILED: "WeakKeyDictionary[Netlist, CompiledNetlist]" = WeakKeyDictionary()
+_GOLDEN: "WeakKeyDictionary[Netlist, Dict[Tuple[int, ...], GoldenTrace]]" = (
+    WeakKeyDictionary()
+)
+
+
+def compiled_for(netlist_or_compiled) -> CompiledNetlist:
+    """Compile ``netlist_or_compiled`` once per session.
+
+    Accepts either a :class:`Netlist` (cached by identity) or an existing
+    :class:`CompiledNetlist` (returned unchanged), mirroring the calling
+    convention of :func:`repro.sim.parallel.grade_faults`.
+    """
+    if isinstance(netlist_or_compiled, CompiledNetlist):
+        return netlist_or_compiled
+    try:
+        return _COMPILED[netlist_or_compiled]
+    except KeyError:
+        compiled = compile_netlist(netlist_or_compiled)
+        _COMPILED[netlist_or_compiled] = compiled
+        return compiled
+
+
+def golden_for(compiled: CompiledNetlist, testbench: Testbench) -> GoldenTrace:
+    """Run (or reuse) the golden trace for ``compiled`` under ``testbench``.
+
+    Cached per source netlist and exact stimulus, so campaigns, eval
+    tables and benchmarks sharing one circuit/testbench pay for a single
+    golden run per session.
+    """
+    per_netlist = _GOLDEN.setdefault(compiled.source, {})
+    key = tuple(testbench.vectors)
+    try:
+        return per_netlist[key]
+    except KeyError:
+        golden = run_golden(compiled, testbench)
+        per_netlist[key] = golden
+        return golden
+
+
+def clear_caches() -> None:
+    """Drop every cached compiled netlist, golden trace and fused program."""
+    from repro.sim.backends.fused import clear_program_cache
+
+    _COMPILED.clear()
+    _GOLDEN.clear()
+    clear_program_cache()

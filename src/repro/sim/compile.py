@@ -55,9 +55,13 @@ class FlipFlopSlot:
     init: Value
 
 
-@dataclass
+@dataclass(eq=False)
 class CompiledNetlist:
     """A netlist lowered to a dense, levelized op program.
+
+    Compared and hashed by identity (``eq=False``) so engines can key
+    weak caches of derived artifacts (fused programs, golden traces) on
+    the compiled object itself.
 
     Attributes:
         net_index: net name -> dense value-array slot.

@@ -55,6 +55,7 @@ class CycleSimulator:
         else:
             self.compiled = netlist_or_compiled
         self._values: List[int] = [0] * self.compiled.num_slots
+        self._x_as_zero = x_as_zero
         self._state: int = self.compiled.initial_state(x_as_zero=x_as_zero)
         self.cycle: int = 0
 
@@ -62,8 +63,9 @@ class CycleSimulator:
     # state access
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Return every flop to its init value and cycle to 0."""
-        self._state = self.compiled.initial_state()
+        """Return every flop to its init value and cycle to 0, honouring
+        the ``x_as_zero`` policy chosen at construction."""
+        self._state = self.compiled.initial_state(x_as_zero=self._x_as_zero)
         self.cycle = 0
 
     def get_state(self) -> int:

@@ -15,17 +15,18 @@ These three observations are exactly what the emulation campaign engines
 need to count FPGA clock cycles for each technique, and the verdicts are
 the classification the autonomous emulator would read back from RAM.
 
-Two backends implement the same algorithm:
-
-* ``numpy``  — nets are rows of uint64 words, 64 faults per word;
-* ``bigint`` — nets are arbitrary-precision Python ints, one fault per bit
-  (no dependencies; used for cross-checking and small runs).
+The execution itself lives in :mod:`repro.sim.backends`: a registry of
+interchangeable :class:`~repro.sim.backends.GradingEngine` implementations
+(``fused`` — the batched-kernel default, ``numpy``, ``bigint``), selected
+with the ``backend`` argument. Compiled netlists and golden traces are
+reused through the session caches in :mod:`repro.sim.cache`, so repeated
+campaigns on one circuit/testbench pay those costs once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -33,24 +34,14 @@ from repro.errors import CampaignError
 from repro.faults.classify import FaultClass, classify_outcome
 from repro.faults.dictionary import FaultDictionary, FaultRecord
 from repro.faults.model import SeuFault
-from repro.netlist.netlist import Netlist
-from repro.sim.compile import (
-    OP_AND,
-    OP_BUF,
-    OP_CONST0,
-    OP_CONST1,
-    OP_INV,
-    OP_MUX2,
-    OP_NAND,
-    OP_NOR,
-    OP_OR,
-    OP_XNOR,
-    OP_XOR,
-    CompiledNetlist,
-    compile_netlist,
-)
-from repro.sim.cycle import GoldenTrace, run_golden
+from repro.sim.backends import available_engines, get_engine
+from repro.sim.cache import compiled_for, golden_for
+from repro.sim.compile import CompiledNetlist
+from repro.sim.cycle import GoldenTrace
 from repro.sim.vectors import Testbench
+
+#: the engine used when callers do not pick one explicitly
+DEFAULT_BACKEND = "fused"
 
 
 @dataclass
@@ -63,6 +54,9 @@ class FaultGradingResult:
     golden: GoldenTrace
     fail_cycles: List[int] = field(default_factory=list)
     vanish_cycles: List[int] = field(default_factory=list)
+    _dictionary: Optional[FaultDictionary] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_faults(self) -> int:
@@ -80,39 +74,44 @@ class FaultGradingResult:
         ]
 
     def to_dictionary(self) -> FaultDictionary:
-        """Decode into a queryable :class:`FaultDictionary`."""
-        dictionary = FaultDictionary(self.num_cycles, self.flop_names)
-        for index, fault in enumerate(self.faults):
-            dictionary.add(
-                FaultRecord(
-                    fault=fault,
-                    verdict=self.verdict(index),
-                    fail_cycle=self.fail_cycles[index],
-                    vanish_cycle=self.vanish_cycles[index],
+        """Decode into a queryable :class:`FaultDictionary`.
+
+        The decode is memoized: campaign engines sharing one oracle (the
+        normal multi-technique setup) receive the same dictionary object
+        instead of re-decoding 34k verdicts per technique.
+        """
+        if self._dictionary is None:
+            dictionary = FaultDictionary(self.num_cycles, self.flop_names)
+            for index, fault in enumerate(self.faults):
+                dictionary.add(
+                    FaultRecord(
+                        fault=fault,
+                        verdict=self.verdict(index),
+                        fail_cycle=self.fail_cycles[index],
+                        vanish_cycle=self.vanish_cycles[index],
+                    )
                 )
-            )
-        return dictionary
+            self._dictionary = dictionary
+        return self._dictionary
 
 
 def grade_faults(
     netlist_or_compiled,
     testbench: Testbench,
     faults: Sequence[SeuFault],
-    backend: str = "numpy",
+    backend: str = DEFAULT_BACKEND,
 ) -> FaultGradingResult:
-    """Grade ``faults`` against ``testbench``; the library's main oracle."""
-    if isinstance(netlist_or_compiled, Netlist):
-        compiled = compile_netlist(netlist_or_compiled)
-    else:
-        compiled = netlist_or_compiled
+    """Grade ``faults`` against ``testbench``; the library's main oracle.
+
+    ``backend`` names a registered grading engine (see
+    :func:`repro.sim.backends.available_engines`); all engines produce
+    bit-identical results, differing only in speed.
+    """
+    compiled = compiled_for(netlist_or_compiled)
     _check_faults(compiled, testbench, faults)
-    golden = run_golden(compiled, testbench)
-    if backend == "numpy":
-        fail, vanish = _grade_numpy(compiled, testbench, faults, golden)
-    elif backend == "bigint":
-        fail, vanish = _grade_bigint(compiled, testbench, faults, golden)
-    else:
-        raise CampaignError(f"unknown backend {backend!r}")
+    golden = golden_for(compiled, testbench)
+    engine = get_engine(backend)
+    fail, vanish = engine.grade(compiled, testbench, faults, golden)
     return FaultGradingResult(
         faults=list(faults),
         num_cycles=testbench.num_cycles,
@@ -126,278 +125,34 @@ def grade_faults(
 def _check_faults(
     compiled: CompiledNetlist, testbench: Testbench, faults: Sequence[SeuFault]
 ) -> None:
+    """Validate the fault list in bulk (no per-fault Python branching)."""
     if not faults:
         raise CampaignError("empty fault list")
-    for fault in faults:
-        if fault.cycle >= testbench.num_cycles:
-            raise CampaignError(
-                f"{fault.describe()} is beyond the {testbench.num_cycles}-cycle "
-                "testbench"
-            )
-        if fault.flop_index >= compiled.num_flops:
-            raise CampaignError(
-                f"{fault.describe()}: circuit has only {compiled.num_flops} flops"
-            )
-
-
-# ---------------------------------------------------------------------------
-# numpy backend
-# ---------------------------------------------------------------------------
-def _grade_numpy(
-    compiled: CompiledNetlist,
-    testbench: Testbench,
-    faults: Sequence[SeuFault],
-    golden: GoldenTrace,
-):
-    num_faults = len(faults)
-    num_words = (num_faults + 63) // 64
-    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-    values = np.zeros((compiled.num_slots, num_words), dtype=np.uint64)
-
-    # Group injections by cycle: cycle -> list of (q_slot, word, bit mask).
-    injections: Dict[int, List] = {}
-    inject_cycle = np.empty(num_faults, dtype=np.int64)
-    for index, fault in enumerate(faults):
-        q_slot = compiled.flops[fault.flop_index].q_index
-        injections.setdefault(fault.cycle, []).append(
-            (q_slot, index // 64, np.uint64(1 << (index % 64)))
+    count = len(faults)
+    cycles = np.fromiter(
+        (fault.cycle for fault in faults), dtype=np.int64, count=count
+    )
+    flop_indices = np.fromiter(
+        (fault.flop_index for fault in faults), dtype=np.int64, count=count
+    )
+    late = cycles >= testbench.num_cycles
+    if late.any():
+        fault = faults[int(np.argmax(late))]
+        raise CampaignError(
+            f"{fault.describe()} is beyond the {testbench.num_cycles}-cycle "
+            "testbench"
         )
-        inject_cycle[index] = fault.cycle
-
-    # Load the shared reset state.
-    reset = golden.states[0]
-    for position, flop in enumerate(compiled.flops):
-        values[flop.q_index, :] = ones if (reset >> position) & 1 else 0
-
-    fail_cycle = np.full(num_faults, -1, dtype=np.int64)
-    vanish_cycle = np.full(num_faults, -1, dtype=np.int64)
-
-    ops = compiled.ops
-    flops = compiled.flops
-    output_slots = compiled.output_slots
-
-    for cycle in range(testbench.num_cycles):
-        # 1. inject this cycle's faults into the held state
-        for q_slot, word, bit in injections.get(cycle, ()):
-            values[q_slot, word] ^= bit
-
-        # 2. drive inputs (same golden vector for every fault channel)
-        vector = testbench.vectors[cycle]
-        for position, slot in enumerate(compiled.input_slots):
-            values[slot, :] = ones if (vector >> position) & 1 else 0
-
-        # 3. evaluate combinational logic
-        for opcode, in_slots, out_slot in ops:
-            if opcode == OP_AND:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row &= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_OR:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row |= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_NAND:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row &= values[slot]
-                values[out_slot] = ~row
-            elif opcode == OP_NOR:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row |= values[slot]
-                values[out_slot] = ~row
-            elif opcode == OP_XOR:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row ^= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_XNOR:
-                row = values[in_slots[0]].copy()
-                for slot in in_slots[1:]:
-                    row ^= values[slot]
-                values[out_slot] = ~row
-            elif opcode == OP_BUF:
-                values[out_slot] = values[in_slots[0]]
-            elif opcode == OP_INV:
-                values[out_slot] = ~values[in_slots[0]]
-            elif opcode == OP_MUX2:
-                select = values[in_slots[0]]
-                values[out_slot] = (select & values[in_slots[2]]) | (
-                    ~select & values[in_slots[1]]
-                )
-            elif opcode == OP_CONST0:
-                values[out_slot, :] = 0
-            else:  # OP_CONST1
-                values[out_slot, :] = ones
-
-        # 4. compare outputs against the golden output word
-        golden_out = golden.outputs[cycle]
-        out_diff = np.zeros(num_words, dtype=np.uint64)
-        for position, slot in enumerate(output_slots):
-            if (golden_out >> position) & 1:
-                out_diff |= ~values[slot]
-            else:
-                out_diff |= values[slot]
-
-        diff_bits = _unpack_bits(out_diff, num_faults)
-        newly_failed = diff_bits & (fail_cycle == -1) & (inject_cycle <= cycle)
-        fail_cycle[newly_failed] = cycle
-
-        # 5. latch next state and compare against the golden next state
-        next_rows = [values[flop.d_index].copy() for flop in flops]
-        golden_next = golden.states[cycle + 1]
-        state_diff = np.zeros(num_words, dtype=np.uint64)
-        for position, row in enumerate(next_rows):
-            if (golden_next >> position) & 1:
-                state_diff |= ~row
-            else:
-                state_diff |= row
-        for flop, row in zip(flops, next_rows):
-            values[flop.q_index] = row
-
-        same_bits = ~_unpack_bits(state_diff, num_faults)
-        newly_vanished = (
-            same_bits & (vanish_cycle == -1) & (inject_cycle <= cycle)
+    out_of_range = flop_indices >= compiled.num_flops
+    if out_of_range.any():
+        fault = faults[int(np.argmax(out_of_range))]
+        raise CampaignError(
+            f"{fault.describe()}: circuit has only {compiled.num_flops} flops"
         )
-        vanish_cycle[newly_vanished] = cycle
-
-    return fail_cycle.tolist(), vanish_cycle.tolist()
 
 
-def _unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
-    """Unpack a uint64 word array into a boolean array of ``num_bits``
-    (bit i of word w is fault w*64+i)."""
-    as_bytes = words.view(np.uint8)
-    bits = np.unpackbits(as_bytes, bitorder="little")
-    return bits[:num_bits].astype(bool)
-
-
-# ---------------------------------------------------------------------------
-# bigint backend (dependency-free cross-check)
-# ---------------------------------------------------------------------------
-def _grade_bigint(
-    compiled: CompiledNetlist,
-    testbench: Testbench,
-    faults: Sequence[SeuFault],
-    golden: GoldenTrace,
-):
-    num_faults = len(faults)
-    all_ones = (1 << num_faults) - 1
-
-    values = [0] * compiled.num_slots
-
-    injections: Dict[int, List] = {}
-    for index, fault in enumerate(faults):
-        q_slot = compiled.flops[fault.flop_index].q_index
-        injections.setdefault(fault.cycle, []).append((q_slot, 1 << index))
-
-    injected_mask_by_cycle: List[int] = []
-    running = 0
-    by_cycle: Dict[int, int] = {}
-    for index, fault in enumerate(faults):
-        by_cycle[fault.cycle] = by_cycle.get(fault.cycle, 0) | (1 << index)
-    for cycle in range(testbench.num_cycles):
-        running |= by_cycle.get(cycle, 0)
-        injected_mask_by_cycle.append(running)
-
-    reset = golden.states[0]
-    for position, flop in enumerate(compiled.flops):
-        values[flop.q_index] = all_ones if (reset >> position) & 1 else 0
-
-    fail_cycle = [-1] * num_faults
-    vanish_cycle = [-1] * num_faults
-    not_failed = all_ones
-    not_vanished = all_ones
-
-    for cycle in range(testbench.num_cycles):
-        for q_slot, bit in injections.get(cycle, ()):
-            values[q_slot] ^= bit
-
-        vector = testbench.vectors[cycle]
-        for position, slot in enumerate(compiled.input_slots):
-            values[slot] = all_ones if (vector >> position) & 1 else 0
-
-        for opcode, in_slots, out_slot in compiled.ops:
-            if opcode == OP_AND:
-                row = all_ones
-                for slot in in_slots:
-                    row &= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_OR:
-                row = 0
-                for slot in in_slots:
-                    row |= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_NAND:
-                row = all_ones
-                for slot in in_slots:
-                    row &= values[slot]
-                values[out_slot] = row ^ all_ones
-            elif opcode == OP_NOR:
-                row = 0
-                for slot in in_slots:
-                    row |= values[slot]
-                values[out_slot] = row ^ all_ones
-            elif opcode == OP_XOR:
-                row = 0
-                for slot in in_slots:
-                    row ^= values[slot]
-                values[out_slot] = row
-            elif opcode == OP_XNOR:
-                row = 0
-                for slot in in_slots:
-                    row ^= values[slot]
-                values[out_slot] = row ^ all_ones
-            elif opcode == OP_BUF:
-                values[out_slot] = values[in_slots[0]]
-            elif opcode == OP_INV:
-                values[out_slot] = values[in_slots[0]] ^ all_ones
-            elif opcode == OP_MUX2:
-                select = values[in_slots[0]]
-                values[out_slot] = (select & values[in_slots[2]]) | (
-                    (select ^ all_ones) & values[in_slots[1]]
-                )
-            elif opcode == OP_CONST0:
-                values[out_slot] = 0
-            else:  # OP_CONST1
-                values[out_slot] = all_ones
-
-        golden_out = golden.outputs[cycle]
-        out_diff = 0
-        for position, slot in enumerate(compiled.output_slots):
-            if (golden_out >> position) & 1:
-                out_diff |= values[slot] ^ all_ones
-            else:
-                out_diff |= values[slot]
-
-        injected = injected_mask_by_cycle[cycle]
-        newly_failed = out_diff & not_failed & injected
-        while newly_failed:
-            low_bit = newly_failed & -newly_failed
-            fail_cycle[low_bit.bit_length() - 1] = cycle
-            newly_failed ^= low_bit
-        not_failed &= ~(out_diff & injected)
-
-        next_rows = [values[flop.d_index] for flop in compiled.flops]
-        golden_next = golden.states[cycle + 1]
-        state_diff = 0
-        for position, row in enumerate(next_rows):
-            if (golden_next >> position) & 1:
-                state_diff |= row ^ all_ones
-            else:
-                state_diff |= row
-        for flop, row in zip(compiled.flops, next_rows):
-            values[flop.q_index] = row
-
-        same = (state_diff ^ all_ones) & all_ones
-        newly_vanished = same & not_vanished & injected
-        while newly_vanished:
-            low_bit = newly_vanished & -newly_vanished
-            vanish_cycle[low_bit.bit_length() - 1] = cycle
-            newly_vanished ^= low_bit
-        not_vanished &= ~(same & injected)
-
-    return fail_cycle, vanish_cycle
+__all__ = [
+    "DEFAULT_BACKEND",
+    "FaultGradingResult",
+    "available_engines",
+    "grade_faults",
+]

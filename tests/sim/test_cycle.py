@@ -78,6 +78,31 @@ class TestStateAccess:
         assert sim.get_state() == 0
         assert sim.cycle == 0
 
+    def test_reset_preserves_x_as_zero_choice(self, counter):
+        # reset() must reuse the x_as_zero given at construction instead
+        # of silently reverting to the default
+        sim = CycleSimulator(counter, x_as_zero=False)
+        sim.step(1)
+        sim.reset()
+        assert sim.get_state() == 0
+        assert sim._x_as_zero is False
+
+    def test_reset_with_x_init_flop(self):
+        from repro.logic.values import X
+        from repro.netlist.builder import NetlistBuilder
+
+        b = NetlistBuilder("xinit")
+        q = b.dff("d", q="q", init=X, name="fx")
+        b.buf(q, out="d")
+        b.output_net("o", q)
+        netlist = b.build()
+        sim = CycleSimulator(netlist)  # x_as_zero=True: X becomes 0
+        sim.step(0)
+        sim.reset()
+        assert sim.get_state() == 0
+        with pytest.raises(SimulationError):
+            CycleSimulator(netlist, x_as_zero=False)
+
     def test_peek_net(self, counter):
         sim = CycleSimulator(counter)
         sim.step(1)
