@@ -2,18 +2,36 @@
 
 The functional oracle is the wall-clock bottleneck of every campaign and
 eval table, so this bench tracks each registered engine on the paper's
-b14 setup (34,400 faults x 160 cycles). ``scripts/bench_report.py`` dumps
-the same measurements to ``BENCH_oracle.json`` so the perf trajectory is
-recorded across PRs.
+b14 setup (34,400 faults x 160 cycles), plus the sharded campaign
+runner at several worker counts (the orchestration-overhead row).
+``scripts/bench_report.py`` dumps the same measurements to
+``BENCH_oracle.json`` so the perf trajectory is recorded across PRs.
+
+Also runnable standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_oracle.py --quick
 """
+
+import os
+import sys
+
+if __package__ in (None, ""):  # standalone: python benchmarks/bench_oracle.py
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, _ROOT)
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 import pytest
 
 from benchmarks.conftest import once
+from repro.run.runner import CampaignRunner, default_pool_workers
+from repro.run.spec import CampaignSpec
 from repro.sim.backends import available_engines, get_engine
 from repro.sim.backends.fused import FusedEngine
 from repro.sim.cache import compiled_for, golden_for
 from repro.sim.parallel import grade_faults
+
+#: the "many workers" point benchmarked against workers=1
+POOL_WORKERS = default_pool_workers()
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -40,6 +58,20 @@ def test_bench_fused_python_plan(benchmark, b14, b14_bench, b14_faults, monkeypa
         benchmark, grade_faults, b14, b14_bench, b14_faults, backend="fused"
     )
     assert len(result.fail_cycles) == len(b14_faults)
+
+
+@pytest.mark.parametrize("workers", [1, POOL_WORKERS])
+def test_bench_sharded_runner(benchmark, b14, b14_bench, b14_faults, workers):
+    """Campaign-runner grading of the b14 oracle, workers=1 vs a pool —
+    the cost of orchestration (sharding, merge, process fan-out)."""
+    spec = CampaignSpec(circuit="b14", technique="time_multiplexed")
+    runner = CampaignRunner(workers=workers)
+    result = once(benchmark, runner.grade, spec)
+    assert result.num_faults == len(b14_faults)
+    us_per_fault = benchmark.stats["mean"] * 1e6 / len(b14_faults)
+    print(
+        f"\nsharded runner, workers={workers}: {us_per_fault:.3f} us/fault"
+    )
 
 
 class TestOracleSpeedContract:
@@ -70,3 +102,56 @@ class TestOracleSpeedContract:
             assert numpy_seconds / fused_seconds >= 5.0, (
                 f"fused {fused_seconds:.3f}s vs numpy {numpy_seconds:.3f}s"
             )
+
+
+def _standalone(argv=None) -> int:
+    """No-pytest smoke bench (CI runs this with ``--quick``)."""
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(description=_standalone.__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one repeat, workers 1 vs 2 only",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
+    from repro.faults.model import exhaustive_fault_list
+
+    circuit = build_b14()
+    bench = b14_program_testbench(circuit, 160, seed=0)
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    golden_for(compiled_for(circuit), bench)  # shared setup out of timings
+
+    started = time.perf_counter()
+    reference = grade_faults(circuit, bench, faults)
+    serial_seconds = time.perf_counter() - started
+    print(
+        f"grade_faults (fused, serial): {serial_seconds:.3f}s "
+        f"({serial_seconds * 1e6 / len(faults):.3f} us/fault)"
+    )
+
+    spec = CampaignSpec(circuit="b14", technique="time_multiplexed")
+    worker_counts = (1, 2) if args.quick else (1, POOL_WORKERS)
+    for workers in worker_counts:
+        runner = CampaignRunner(workers=workers)
+        started = time.perf_counter()
+        merged = runner.grade(spec)
+        elapsed = time.perf_counter() - started
+        print(
+            f"sharded runner (workers={workers}): {elapsed:.3f}s "
+            f"({elapsed * 1e6 / len(faults):.3f} us/fault)"
+        )
+        if merged.fail_cycles != reference.fail_cycles or (
+            merged.vanish_cycles != reference.vanish_cycles
+        ):
+            print("ERROR: sharded runner disagrees with serial grading")
+            return 1
+    print("sharded runner bit-exact with serial grading")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_standalone())

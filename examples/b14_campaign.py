@@ -1,35 +1,21 @@
 #!/usr/bin/env python3
-"""Reproduce the paper's full b14 evaluation.
+"""Reproduce the paper's full b14 evaluation — a thin CLI demo.
 
 Runs every experiment of Lopez-Ongil et al. (DATE 2005) on the
 Viper-style b14 (32 inputs / 54 outputs / 215 flip-flops, 160 stimulus
-vectors, 34,400 single faults): Table 1 (synthesis), Table 2 (emulation
-times at 25 MHz), the fault-classification split, the baseline speed
-comparison, the Figure-1 instrument census and the mask-scan/state-scan
-crossover sweep. Paper reference numbers are printed inline.
+vectors, 34,400 single faults) through the campaign CLI. Equivalent to::
+
+    python -m repro report --circuit b14
+
+Any extra arguments are forwarded (e.g. ``--workers 4`` to shard the
+grading over a process pool, ``--no-crossover`` to skip the sweep).
 
 Run:  python examples/b14_campaign.py
 """
 
-import time
+import sys
 
-from repro.eval import ExperimentContext, run_all_experiments
-
-
-def main():
-    started = time.time()
-    report = run_all_experiments(ExperimentContext(include_crossover=True))
-    print(report.render())
-    print()
-    claims = report.crossover.paper_claims_hold()
-    print("paper claim checks:")
-    for claim, holds in claims.items():
-        print(f"  {claim}: {'HOLDS' if holds else 'VIOLATED'}")
-    fastest = report.table2.fastest()
-    print(f"  fastest technique on b14: {fastest} "
-          f"({'matches paper' if fastest == 'time_multiplexed' else 'differs!'})")
-    print(f"\ncompleted in {time.time() - started:.1f}s")
-
+from repro.run.cli import main
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["report", "--circuit", "b14", *sys.argv[1:]]))

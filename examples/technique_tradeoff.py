@@ -1,68 +1,65 @@
 #!/usr/bin/env python3
-"""Choosing an injection technique for *your* circuit.
+"""Choosing an injection technique for *your* circuit — a thin CLI demo.
 
 The paper's conclusion: the best technique depends on the circuit —
 state-scan's per-fault state insertion costs N flip-flop cycles, so it
 loses to mask-scan's cycle-0 replay when N is large relative to the
 testbench, and wins when testbenches are long; time-multiplexed is always
-fastest but costs ~4x flip-flops. This example sweeps circuit families of
-different shapes (shift-heavy, FSM-heavy, processor-like) and prints the
-cycles/fault and area price of each technique, ending with a simple
-recommendation per circuit.
+fastest but costs ~4x flip-flops. This demo expands one declarative
+``CampaignSpec.matrix`` per circuit shape, runs it through the campaign
+runner (one shared oracle per circuit) and prints cycles/fault plus the
+area price of each technique.
+
+The per-circuit sweep is also available directly from the shell::
+
+    python -m repro sweep --circuits pipeline --cycles 96 --testbench random
 
 Run:  python examples/technique_tradeoff.py
 """
 
-from repro import TECHNIQUES, run_campaign
-from repro.circuits.generators import (
-    build_counter_bank,
-    build_lfsr,
-    build_pipeline,
-    build_scaled_processor,
-)
+from repro import TECHNIQUES
+from repro.circuits.registry import build_circuit
 from repro.emu.system import AutonomousEmulator
-from repro.faults.model import exhaustive_fault_list
-from repro.sim.parallel import grade_faults
-from repro.sim.vectors import random_testbench
+from repro.run import CampaignRunner, CampaignSpec
 from repro.util.tables import Table
 
-
-def evaluate(circuit, num_cycles, seed=3):
-    """cycles/fault per technique + LUT price of each system."""
-    bench = random_testbench(circuit, num_cycles, seed=seed)
-    faults = exhaustive_fault_list(circuit, num_cycles)
-    oracle = grade_faults(circuit, bench, faults)
-    row = {}
-    for technique in TECHNIQUES:
-        campaign = run_campaign(
-            circuit, bench, technique, faults=faults, oracle=oracle
-        )
-        summary = AutonomousEmulator(
-            circuit, technique,
-            campaign_cycles=num_cycles, campaign_faults=len(faults),
-        ).synthesize(num_cycles, len(faults))
-        row[technique] = (
-            campaign.timing.cycles_per_fault,
-            summary.system.luts,
-        )
-    return row
+#: (registered circuit name, testbench length) per circuit shape. The
+#: names resolve to the registry's default shapes — pipeline 4x8 (32
+#: FFs), lfsr 16, counter_bank 4x8 (32 FFs) — plus the parameterized
+#: ~64-FF-budget processor; earlier revisions of this example built
+#: slightly larger variants by hand, so absolute numbers differ.
+CASES = [
+    ("pipeline", 96),
+    ("lfsr", 256),
+    ("counter_bank", 128),
+    ("proc:64", 400),
+]
 
 
 def main():
-    cases = [
-        ("pipeline 8x8", build_pipeline(8, 8), 96),
-        ("lfsr 24", build_lfsr(24), 256),
-        ("counter bank 6x8", build_counter_bank(6, 8), 128),
-        ("processor ~64ff", build_scaled_processor(64), 400),
-    ]
+    runner = CampaignRunner()
     table = Table(
         ["circuit", "FFs", "cycles"]
         + [f"{t} c/f (LUTs)" for t in TECHNIQUES]
         + ["recommendation"],
         title="Technique trade-off across circuit shapes",
     )
-    for name, circuit, cycles in cases:
-        row = evaluate(circuit, cycles)
+    for name, cycles in CASES:
+        specs = CampaignSpec.matrix(
+            circuits=[name], num_cycles=cycles, testbench="random", seed=3
+        )
+        campaigns = runner.sweep(specs)
+        circuit = build_circuit(name)
+        row = {}
+        for spec, campaign in zip(specs, campaigns):
+            summary = AutonomousEmulator(
+                circuit, spec.technique,
+                campaign_cycles=cycles, campaign_faults=campaign.num_faults,
+            ).synthesize(cycles, campaign.num_faults)
+            row[spec.technique] = (
+                campaign.timing.cycles_per_fault,
+                summary.system.luts,
+            )
         fastest = min(row, key=lambda t: row[t][0])
         cheapest = min(row, key=lambda t: row[t][1])
         recommendation = (

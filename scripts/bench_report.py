@@ -28,10 +28,15 @@ sys.path.insert(
 from repro.circuits.itc99.b14 import b14_program_testbench, build_b14  # noqa: E402
 from repro.eval.paper import PAPER_B14  # noqa: E402
 from repro.faults.model import exhaustive_fault_list  # noqa: E402
+from repro.run.runner import CampaignRunner, default_pool_workers  # noqa: E402
+from repro.run.spec import CampaignSpec  # noqa: E402
 from repro.sim.backends import available_engines, get_engine  # noqa: E402
 from repro.sim.backends.fused import FusedEngine  # noqa: E402
 from repro.sim.cache import compiled_for, golden_for  # noqa: E402
 from repro.sim.parallel import DEFAULT_BACKEND, grade_faults  # noqa: E402
+
+#: worker counts measured for the sharded-runner (orchestration) rows
+RUNNER_WORKERS = (1, default_pool_workers())
 
 
 def measure(circuit, bench, faults, backend: str, repeats: int) -> dict:
@@ -93,6 +98,37 @@ def main() -> int:
             print(f"ERROR: backend {name!r} disagrees with numpy", file=sys.stderr)
             return 1
 
+    # Sharded-runner rows: the same campaign through the orchestration
+    # layer, workers=1 vs a process pool, so the perf trajectory records
+    # sharding/merge/fan-out overhead alongside raw engine speed.
+    spec = CampaignSpec(circuit="b14", technique="time_multiplexed")
+    runner_rows = {}
+    for workers in RUNNER_WORKERS:
+        runner = CampaignRunner(workers=workers)
+        best = float("inf")
+        merged = None
+        for _ in range(max(1, args.repeats - 1)):
+            started = time.perf_counter()
+            merged = runner.grade(spec)
+            best = min(best, time.perf_counter() - started)
+        if merged.fail_cycles != reference["fail_cycles"] or (
+            merged.vanish_cycles != reference["vanish_cycles"]
+        ):
+            print(
+                f"ERROR: sharded runner (workers={workers}) disagrees "
+                "with numpy",
+                file=sys.stderr,
+            )
+            return 1
+        runner_rows[f"workers={workers}"] = {
+            "seconds": round(best, 4),
+            "us_per_fault": round(best * 1e6 / len(faults), 3),
+        }
+        print(
+            f"{'runner w=' + str(workers):>12}: {best:7.3f} s "
+            f"({best * 1e6 / len(faults):7.3f} us/fault)"
+        )
+
     report = {
         "circuit": circuit.name,
         "num_faults": len(faults),
@@ -101,6 +137,7 @@ def main() -> int:
         "fused_native_kernel": native_used,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "sharded_runner": runner_rows,
         "backends": {
             name: {
                 "seconds": row["seconds"],

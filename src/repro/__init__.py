@@ -33,6 +33,7 @@ from repro.emu import (
 from repro.faults import FaultClass, SeuFault, exhaustive_fault_list
 from repro.netlist import Netlist, NetlistBuilder
 from repro.rtl import RtlModule
+from repro.run import CampaignRunner, CampaignSpec
 from repro.sim import Testbench, grade_faults, random_testbench
 from repro.synth import area_of
 
@@ -42,6 +43,8 @@ __all__ = [
     "AutonomousEmulator",
     "BoardModel",
     "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
     "FaultClass",
     "Netlist",
     "NetlistBuilder",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the campaign orchestration CLI."""
+
+import sys
+
+from repro.run.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

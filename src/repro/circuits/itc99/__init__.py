@@ -15,6 +15,7 @@ accumulator CPU). See DESIGN.md section 2 for the substitution rationale.
 from repro.circuits.itc99.b01 import build_b01
 from repro.circuits.itc99.b02 import build_b02
 from repro.circuits.itc99.b03 import build_b03
+from repro.circuits.itc99.b04 import build_b04
 from repro.circuits.itc99.b06 import build_b06
 from repro.circuits.itc99.b09 import build_b09
 from repro.circuits.itc99.b14 import B14_SPEC, build_b14
@@ -24,6 +25,7 @@ __all__ = [
     "build_b01",
     "build_b02",
     "build_b03",
+    "build_b04",
     "build_b06",
     "build_b09",
     "build_b14",

@@ -1,0 +1,69 @@
+"""b04 — min/max tracker (11 inputs, 8 outputs, 66 flip-flops).
+
+Streams 8-bit data words and maintains the running minimum and maximum,
+with a short input pipeline and a registered output that reports either
+the delayed data stream or the min/max midpoint. Matches the documented
+b04 interface shape: control inputs ``restart``/``enable``/``average``,
+an 8-bit ``data_in`` bus and an 8-bit ``data_out`` word.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.rtl import RtlModule, const, mux
+
+
+def build_b04() -> Netlist:
+    """Build the b04-style min/max tracker."""
+    m = RtlModule("b04")
+    restart = m.input("restart", 1)
+    enable = m.input("enable", 1)
+    average = m.input("average", 1)
+    data_in = m.input("data_in", 8)
+
+    # 66 flops: rmax/rmin/rlast (24) + 3-stage input pipeline (24) +
+    # midpoint register (8) + registered output (8) + 2-bit FSM state.
+    rmax = m.register("rmax", 8, init=0)
+    rmin = m.register("rmin", 8, init=255)
+    rlast = m.register("rlast", 8, init=0)
+    reg1 = m.register("reg1", 8, init=0)
+    reg2 = m.register("reg2", 8, init=0)
+    reg3 = m.register("reg3", 8, init=0)
+    rmid = m.register("rmid", 8, init=0)
+    data_out = m.register("data_out", 8, init=0)
+    state = m.register("state", 2, init=0)
+
+    IDLE, TRACK, HOLD = const(2, 0), const(2, 1), const(2, 2)
+    in_track = state == TRACK
+    step = enable & in_track
+
+    # Extremes update while tracking; restart reseeds both from the bus.
+    grew = rmax < data_in
+    shrank = data_in < rmin
+    next_max = mux(step, rmax, mux(grew, rmax, data_in))
+    next_min = mux(step, rmin, mux(shrank, rmin, data_in))
+    m.next(rmax, mux(restart, next_max, data_in))
+    m.next(rmin, mux(restart, next_min, data_in))
+
+    # Input pipeline: data_in -> reg1 -> reg2 -> reg3 -> rlast.
+    m.next(reg1, mux(step, reg1, data_in))
+    m.next(reg2, mux(step, reg2, reg1))
+    m.next(reg3, mux(step, reg3, reg2))
+    m.next(rlast, mux(step, rlast, reg3))
+
+    # Midpoint of the tracked range (truncating halves, no carry chain).
+    m.next(rmid, mux(step, rmid, rmax.shift_right(1) + rmin.shift_right(1)))
+    m.next(data_out, mux(average, rlast, rmid))
+
+    # FSM: idle until the first restart, then track; ``average`` without
+    # enable parks the tracker in HOLD until the next restart.
+    hold_next = mux(average & ~enable, TRACK, HOLD)
+    m.next(state, mux(restart, mux(in_track, state, hold_next), TRACK))
+
+    m.output("data_out", data_out)
+
+    netlist = m.elaborate()
+    assert len(netlist.inputs) == 11, len(netlist.inputs)
+    assert len(netlist.outputs) == 8, len(netlist.outputs)
+    assert netlist.num_ffs == 66, netlist.num_ffs
+    return netlist

@@ -22,6 +22,7 @@ def _populate() -> None:
         build_b01,
         build_b02,
         build_b03,
+        build_b04,
         build_b06,
         build_b09,
         build_b14,
@@ -30,6 +31,7 @@ def _populate() -> None:
     _register("b01", build_b01)
     _register("b02", build_b02)
     _register("b03", build_b03)
+    _register("b04", build_b04)
     _register("b06", build_b06)
     _register("b09", build_b09)
     _register("b14", build_b14)
@@ -46,12 +48,28 @@ def available_circuits() -> List[str]:
 
 
 def build_circuit(name: str) -> Netlist:
-    """Build a registered circuit by name."""
+    """Build a registered circuit by name.
+
+    Besides the fixed registry, the parameterized family ``proc:<N>``
+    builds :func:`repro.circuits.generators.build_scaled_processor` with
+    an ``N``-flop budget — the circuit family the crossover sweep uses —
+    so declarative campaign specs can name any sweep cell.
+    """
     _populate()
+    if name.startswith("proc:"):
+        from repro.circuits import generators
+
+        budget = name.split(":", 1)[1]
+        if not budget.isdigit() or int(budget) <= 0:
+            raise ReproError(
+                f"bad parameterized circuit {name!r}; expected proc:<flops>"
+            )
+        return generators.build_scaled_processor(int(budget))
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise ReproError(
             f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
+            " (plus the parameterized proc:<flops> family)"
         ) from None
     return factory()

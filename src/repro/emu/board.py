@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ReproError
 from repro.synth.area import DeviceModel, VIRTEX_2000E
 
 
@@ -47,3 +48,19 @@ RC1000 = BoardModel(
     device=VIRTEX_2000E,
     board_ram_kbits=8 * 1024 * 8.0,  # 8 MB expressed in kbits
 )
+
+#: Boards addressable by short name (campaign specs store the key, not
+#: the model, so a spec stays a plain serializable dict).
+BOARDS = {
+    "rc1000": RC1000,
+}
+
+
+def board_by_name(name: str) -> BoardModel:
+    """Resolve a registered board key (see :data:`BOARDS`)."""
+    try:
+        return BOARDS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown board {name!r}; available: {', '.join(sorted(BOARDS))}"
+        ) from None

@@ -4,7 +4,8 @@ The paper reports, for b14 with 160 vectors and 34,400 faults:
 49.2 % failure, 4.4 % latent, 46.4 % silent. The split is a property of
 the circuit and stimulus, not of the emulation technique (all three
 techniques grade identically); we reproduce its *shape* — failure and
-silent each taking roughly half, latent a small residue.
+silent each taking roughly half, latent a small residue — and can do so
+for any registered circuit via the campaign runner.
 """
 
 from __future__ import annotations
@@ -12,13 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
-from repro.eval.paper import PAPER_B14, PAPER_CLASSIFICATION
+from repro.eval.context import grade_eval_scenario, resolve_scenario
+from repro.eval.paper import PAPER_CLASSIFICATION
 from repro.faults.classify import FaultClass
 from repro.faults.dictionary import FaultDictionary
-from repro.faults.model import exhaustive_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
+from repro.run.runner import CampaignRunner
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -70,21 +71,24 @@ def run_classification_experiment(
     seed: int = 0,
     engine: str = DEFAULT_BACKEND,
     oracle: Optional[FaultGradingResult] = None,
+    circuit: Optional[str] = None,
+    runner: Optional[CampaignRunner] = None,
+    num_cycles: Optional[int] = None,
 ) -> ClassificationResult:
     """Grade the complete single-fault set (paper's C1 setup).
 
-    A precomputed ``oracle`` for the exhaustive fault list may be passed
-    when several experiments share one circuit/testbench.
+    Accepts explicit ``netlist``/``testbench`` objects or a registered
+    ``circuit`` name; a precomputed ``oracle`` may be passed when several
+    experiments share one circuit/testbench.
     """
-    circuit = netlist if netlist is not None else build_b14()
-    bench = testbench or b14_program_testbench(
-        circuit, PAPER_B14["stimulus_vectors"], seed=seed
+    scenario = resolve_scenario(
+        netlist, testbench, circuit=circuit, seed=seed,
+        num_cycles=num_cycles, engine=engine,
     )
-    faults = exhaustive_fault_list(circuit, bench.num_cycles)
     if oracle is None:
-        oracle = grade_faults(circuit, bench, faults, backend=engine)
+        oracle = grade_eval_scenario(scenario, runner, engine)
     return ClassificationResult(
-        circuit=circuit.name,
-        num_faults=len(faults),
+        circuit=scenario.netlist.name,
+        num_faults=len(scenario.faults),
         dictionary=oracle.to_dictionary(),
     )

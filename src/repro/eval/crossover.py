@@ -15,12 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.circuits.generators import build_scaled_processor
-from repro.emu.campaign import run_campaign
 from repro.emu.instrument import TECHNIQUES
-from repro.faults.model import exhaustive_fault_list
-from repro.sim.parallel import DEFAULT_BACKEND, grade_faults
-from repro.sim.vectors import random_testbench
+from repro.run.runner import CampaignRunner
+from repro.run.spec import CampaignSpec
+from repro.sim.parallel import DEFAULT_BACKEND
 from repro.util.tables import Table
 
 
@@ -96,25 +94,36 @@ def run_crossover_experiment(
     cycle_counts: Optional[Sequence[int]] = None,
     seed: int = 7,
     engine: str = DEFAULT_BACKEND,
+    runner: Optional[CampaignRunner] = None,
 ) -> CrossoverResult:
-    """Sweep (flip-flops x testbench length) and measure all techniques."""
+    """Sweep (flip-flops x testbench length) and measure all techniques.
+
+    Each sweep cell is a declarative campaign over the parameterized
+    ``proc:<flops>`` circuit family, expanded with
+    :meth:`CampaignSpec.matrix` and executed by the ``runner`` — the
+    three techniques of a cell share one graded oracle.
+    """
     budgets = list(flop_budgets or (32, 64, 128))
     lengths = list(cycle_counts or (32, 128, 512))
+    runner = runner or CampaignRunner()
     result = CrossoverResult()
     for budget in budgets:
-        circuit = build_scaled_processor(budget)
         for length in lengths:
-            bench = random_testbench(circuit, length, seed=seed)
-            faults = exhaustive_fault_list(circuit, length)
-            oracle = grade_faults(circuit, bench, faults, backend=engine)
-            point = CrossoverPoint(
-                num_flops=circuit.num_ffs, num_cycles=length
+            specs = CampaignSpec.matrix(
+                circuits=[f"proc:{budget}"],
+                techniques=TECHNIQUES,
+                engines=[engine],
+                testbench="random",
+                num_cycles=length,
+                seed=seed,
             )
-            for technique in TECHNIQUES:
-                campaign = run_campaign(
-                    circuit, bench, technique, faults=faults, oracle=oracle
-                )
-                point.cycles_per_fault[technique] = (
+            campaigns = runner.sweep(specs)
+            point = CrossoverPoint(
+                num_flops=len(campaigns[0].dictionary.flop_names),
+                num_cycles=length,
+            )
+            for spec, campaign in zip(specs, campaigns):
+                point.cycles_per_fault[spec.technique] = (
                     campaign.timing.cycles_per_fault
                 )
             result.points.append(point)

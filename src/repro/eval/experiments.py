@@ -1,30 +1,32 @@
 """Run every paper experiment and render a single report.
 
-``run_all_experiments`` is what ``examples/b14_campaign.py`` and the
-EXPERIMENTS.md generator call; it shares one circuit/testbench/oracle
-across experiments so the whole paper reproduction runs in seconds.
+``run_all_experiments`` is what ``python -m repro report`` and the
+EXPERIMENTS.md generator call; it resolves one scenario (any registered
+circuit — the paper's b14 by default), grades its complete single-fault
+set once through the campaign runner (sharded and resumable when the
+context asks for workers/a store), and shares that oracle across all
+experiments so the whole reproduction runs in seconds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
 from repro.emu.board import RC1000, BoardModel
 from repro.eval.classification import (
     ClassificationResult,
     run_classification_experiment,
 )
+from repro.eval.context import grade_eval_scenario, resolve_scenario
 from repro.eval.crossover import CrossoverResult, run_crossover_experiment
 from repro.eval.figure1 import Figure1Census, run_figure1_census
-from repro.eval.paper import PAPER_B14
 from repro.eval.speedup import SpeedupResult, run_speedup_experiment
 from repro.eval.table1 import Table1Result, run_table1_experiment
 from repro.eval.table2 import Table2Result, run_table2_experiment
-from repro.faults.model import exhaustive_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import DEFAULT_BACKEND, grade_faults
+from repro.run.runner import CampaignRunner
+from repro.sim.parallel import DEFAULT_BACKEND
 from repro.sim.vectors import Testbench
 
 
@@ -32,26 +34,48 @@ from repro.sim.vectors import Testbench
 class ExperimentContext:
     """Shared configuration for a full reproduction run.
 
-    ``engine`` selects the fault-grading backend used by every
-    experiment (see :func:`repro.sim.backends.available_engines`); the
-    exhaustive b14 fault set is graded once and the oracle shared across
-    the experiments, with compiled netlists and golden traces reused
-    through the session caches.
+    ``circuit`` names any registered circuit (paper reference columns
+    stay b14's — they are what the paper printed). Explicit ``netlist``/
+    ``testbench`` objects override the name. ``engine`` selects the
+    fault-grading backend used by every experiment; ``workers`` > 1
+    shards the grading over a process pool, and ``store_root`` persists
+    completed shards so an interrupted reproduction resumes.
     """
 
+    circuit: str = "b14"
     netlist: Optional[Netlist] = None
     testbench: Optional[Testbench] = None
     board: BoardModel = RC1000
     seed: int = 0
     include_crossover: bool = True
     engine: str = DEFAULT_BACKEND
+    workers: int = 1
+    shards: Optional[int] = None
+    store_root: Optional[str] = None
+    resume: bool = True
+    progress: Optional[Callable[[str], None]] = None
+    num_cycles: Optional[int] = None
+
+    def runner(self) -> CampaignRunner:
+        return CampaignRunner(
+            workers=self.workers,
+            shards=self.shards,
+            store_root=self.store_root,
+            resume=self.resume,
+            progress=self.progress,
+        )
 
     def resolve(self):
-        circuit = self.netlist if self.netlist is not None else build_b14()
-        bench = self.testbench or b14_program_testbench(
-            circuit, PAPER_B14["stimulus_vectors"], seed=self.seed
+        """The (netlist, testbench) pair the experiments will use."""
+        scenario = resolve_scenario(
+            self.netlist,
+            self.testbench,
+            circuit=self.circuit,
+            seed=self.seed,
+            num_cycles=self.num_cycles,
+            engine=self.engine,
         )
-        return circuit, bench
+        return scenario.netlist, scenario.testbench
 
 
 @dataclass
@@ -82,26 +106,41 @@ class FullReport:
 def run_all_experiments(context: Optional[ExperimentContext] = None) -> FullReport:
     """Execute the complete reproduction (Tables 1-2, C1-C3, Figure 1)."""
     context = context or ExperimentContext()
-    circuit, bench = context.resolve()
+    runner = context.runner()
+    scenario = resolve_scenario(
+        context.netlist,
+        context.testbench,
+        circuit=context.circuit,
+        seed=context.seed,
+        num_cycles=context.num_cycles,
+        engine=context.engine,
+    )
 
-    # The oracle is experiment-independent: grade the exhaustive fault
-    # set once and share it across every b14 experiment.
-    faults = exhaustive_fault_list(circuit, bench.num_cycles)
-    oracle = grade_faults(circuit, bench, faults, backend=context.engine)
+    # The oracle is experiment-independent: grade the complete fault set
+    # once (sharded/resumed by the runner) and share it everywhere.
+    oracle = grade_eval_scenario(scenario, runner, context.engine)
 
-    table1 = run_table1_experiment(circuit, num_cycles=bench.num_cycles)
-    table2 = run_table2_experiment(
-        circuit, bench, board=context.board, engine=context.engine, oracle=oracle
+    shared = dict(
+        netlist=context.netlist,
+        testbench=context.testbench,
+        circuit=context.circuit,
+        num_cycles=context.num_cycles,
+        seed=context.seed,
+        engine=context.engine,
+        runner=runner,
+        oracle=oracle,
     )
-    classification = run_classification_experiment(
-        circuit, bench, engine=context.engine, oracle=oracle
+    table1 = run_table1_experiment(
+        scenario.netlist, num_cycles=scenario.testbench.num_cycles
     )
-    speedup = run_speedup_experiment(
-        circuit, bench, board=context.board, engine=context.engine, oracle=oracle
-    )
+    table2 = run_table2_experiment(board=context.board, **shared)
+    classification = run_classification_experiment(**shared)
+    speedup = run_speedup_experiment(board=context.board, **shared)
     figure1 = run_figure1_census()
     crossover = (
-        run_crossover_experiment(seed=context.seed, engine=context.engine)
+        run_crossover_experiment(
+            seed=context.seed, engine=context.engine, runner=runner
+        )
         if context.include_crossover
         else None
     )

@@ -3,10 +3,10 @@
 The paper's headline: at 25 MHz the autonomous system is "some orders of
 magnitude better than fault simulation (1300 us/fault) and emulation in
 [2] (100 us/fault)". This experiment assembles the whole comparison
-table: three autonomous techniques (measured by the campaign engines),
-the host-driven model, and the software-simulation baseline (both the
-era-calibrated analytic model and an actual measurement of our own serial
-fault simulator).
+table: three autonomous techniques (measured by the campaign engines via
+the runner), the host-driven model, and the software-simulation baseline
+(both the era-calibrated analytic model and an actual measurement of our
+own serial fault simulator).
 """
 
 from __future__ import annotations
@@ -14,16 +14,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
 from repro.emu.board import RC1000, BoardModel
-from repro.emu.campaign import run_campaign
 from repro.emu.hostlink import HostLinkModel, SoftwareFaultSimModel
 from repro.emu.instrument import TECHNIQUES
-from repro.eval.paper import PAPER_B14, PAPER_BASELINES, PAPER_TABLE2
-from repro.faults.model import exhaustive_fault_list
+from repro.eval.context import (
+    grade_eval_scenario,
+    resolve_scenario,
+    run_eval_campaign,
+)
+from repro.eval.paper import PAPER_BASELINES, PAPER_TABLE2
 from repro.faults.sampling import sample_fault_list
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
+from repro.run.runner import CampaignRunner
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -69,26 +72,32 @@ def run_speedup_experiment(
     software_sample: int = 50,
     engine: str = DEFAULT_BACKEND,
     oracle: Optional[FaultGradingResult] = None,
+    circuit: Optional[str] = None,
+    runner: Optional[CampaignRunner] = None,
+    num_cycles: Optional[int] = None,
 ) -> SpeedupResult:
     """Assemble the C2 comparison.
 
     ``measure_software`` additionally times our own Python serial fault
     simulator over a sampled fault list (slow; used by the benchmark).
-    A precomputed ``oracle`` for the exhaustive fault list may be passed
-    when several experiments share one circuit/testbench.
+    Accepts explicit ``netlist``/``testbench`` objects or a registered
+    ``circuit`` name; a precomputed ``oracle`` may be passed when several
+    experiments share one circuit/testbench.
     """
-    circuit = netlist if netlist is not None else build_b14()
-    bench = testbench or b14_program_testbench(
-        circuit, PAPER_B14["stimulus_vectors"], seed=seed
+    scenario = resolve_scenario(
+        netlist, testbench, circuit=circuit, seed=seed,
+        num_cycles=num_cycles, engine=engine,
     )
-    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    runner = runner or CampaignRunner()
     if oracle is None:
-        oracle = grade_faults(circuit, bench, faults, backend=engine)
+        oracle = grade_eval_scenario(scenario, runner, engine)
+    bench = scenario.testbench
 
-    result = SpeedupResult(circuit=circuit.name)
+    result = SpeedupResult(circuit=scenario.netlist.name)
     simulation = SoftwareFaultSimModel()
     result.us_per_fault["fault simulation"] = (
-        simulation.seconds_per_fault_analytic(circuit, bench.num_cycles) * 1e6
+        simulation.seconds_per_fault_analytic(scenario.netlist, bench.num_cycles)
+        * 1e6
     )
     result.paper_us_per_fault["fault simulation"] = PAPER_BASELINES[
         "fault_simulation_us_per_fault"
@@ -103,17 +112,17 @@ def run_speedup_experiment(
     ]
 
     for technique in TECHNIQUES:
-        campaign = run_campaign(
-            circuit, bench, technique, board=board, faults=faults, oracle=oracle
-        )
+        campaign = run_eval_campaign(scenario, technique, runner, board, oracle)
         result.us_per_fault[technique] = campaign.timing.us_per_fault
         result.paper_us_per_fault[technique] = PAPER_TABLE2[technique][
             "us_per_fault"
         ]
 
     if measure_software:
-        sample = sample_fault_list(faults, software_sample, seed=seed)
-        measured = simulation.seconds_per_fault_measured(circuit, bench, sample)
+        sample = sample_fault_list(scenario.faults, software_sample, seed=seed)
+        measured = simulation.seconds_per_fault_measured(
+            scenario.netlist, bench, sample
+        )
         result.us_per_fault["fault simulation (measured, this host)"] = (
             measured * 1e6
         )

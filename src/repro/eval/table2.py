@@ -1,8 +1,11 @@
-"""Experiment Table 2: emulation time results for the b14 circuit.
+"""Experiment Table 2: emulation time results.
 
 Regenerates the paper's Table 2 — total emulation time (ms) and average
 speed (us/fault) for the three autonomous techniques at the board clock —
-from the cycle-accurate campaign engines.
+from the cycle-accurate campaign engines, for any registered circuit
+(the paper's setup being b14, 160 vectors, exhaustive faults). Campaigns
+are described as :class:`~repro.run.spec.CampaignSpec`\\ s and executed
+by a (possibly sharded, store-backed) campaign runner.
 """
 
 from __future__ import annotations
@@ -10,14 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.circuits.itc99.b14 import b14_program_testbench, build_b14
 from repro.emu.board import RC1000, BoardModel
-from repro.emu.campaign import CampaignResult, run_campaign
+from repro.emu.campaign import CampaignResult
 from repro.emu.instrument import TECHNIQUES
-from repro.eval.paper import PAPER_B14, PAPER_TABLE2
-from repro.faults.model import exhaustive_fault_list
+from repro.eval.context import (
+    grade_eval_scenario,
+    resolve_scenario,
+    run_eval_campaign,
+)
+from repro.eval.paper import PAPER_TABLE2
 from repro.netlist.netlist import Netlist
-from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult, grade_faults
+from repro.run.runner import CampaignRunner
+from repro.sim.parallel import DEFAULT_BACKEND, FaultGradingResult
 from repro.sim.vectors import Testbench
 from repro.util.tables import Table
 
@@ -70,25 +77,30 @@ def run_table2_experiment(
     seed: int = 0,
     engine: str = DEFAULT_BACKEND,
     oracle: Optional[FaultGradingResult] = None,
+    circuit: Optional[str] = None,
+    runner: Optional[CampaignRunner] = None,
+    num_cycles: Optional[int] = None,
 ) -> Table2Result:
-    """Run all three campaigns on the paper's setup (b14, 160 vectors,
-    exhaustive faults) and report Table-2 figures.
+    """Run all three campaigns on one circuit and report Table-2 figures.
 
-    A precomputed ``oracle`` for the exhaustive fault list may be passed
+    Pass either explicit ``netlist``/``testbench`` objects or a
+    registered ``circuit`` name (default b14 at the paper's scale). A
+    precomputed ``oracle`` for the scenario's fault list may be passed
     when several experiments share one circuit/testbench (see
-    :func:`repro.eval.experiments.run_all_experiments`).
+    :func:`repro.eval.experiments.run_all_experiments`); otherwise the
+    ``runner`` grades it — sharded and resumable when so configured.
     """
-    circuit = netlist if netlist is not None else build_b14()
-    bench = testbench or b14_program_testbench(
-        circuit, PAPER_B14["stimulus_vectors"], seed=seed
+    scenario = resolve_scenario(
+        netlist, testbench, circuit=circuit, seed=seed,
+        num_cycles=num_cycles, engine=engine,
     )
-    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    runner = runner or CampaignRunner()
     if oracle is None:
-        oracle = grade_faults(circuit, bench, faults, backend=engine)
+        oracle = grade_eval_scenario(scenario, runner, engine)
 
-    result = Table2Result(circuit=circuit.name)
+    result = Table2Result(circuit=scenario.netlist.name)
     for technique in TECHNIQUES:
-        result.campaigns[technique] = run_campaign(
-            circuit, bench, technique, board=board, faults=faults, oracle=oracle
+        result.campaigns[technique] = run_eval_campaign(
+            scenario, technique, runner, board, oracle
         )
     return result

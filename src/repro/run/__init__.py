@@ -1,0 +1,27 @@
+"""Campaign orchestration: declarative specs, sharded execution, stores.
+
+* :mod:`repro.run.spec` — :class:`CampaignSpec`, the frozen serializable
+  description of one campaign, plus the ``matrix()`` sweep expander.
+* :mod:`repro.run.runner` — :class:`CampaignRunner`, the sharded,
+  multi-process, resumable executor.
+* :mod:`repro.run.store` — :class:`ResultsStore`, the per-campaign JSONL
+  checkpoint store under ``runs/<campaign-id>/``.
+* :mod:`repro.run.worker` — worker-process shard grading (per-process
+  scenario and simulation caches).
+* :mod:`repro.run.cli` — the ``python -m repro`` command line (imported
+  lazily by ``repro.__main__``, not re-exported here).
+"""
+
+from repro.run.runner import CampaignRunner, ShardWindow, plan_windows
+from repro.run.spec import CampaignSpec, Scenario
+from repro.run.store import ResultsStore, ShardRecord
+
+__all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultsStore",
+    "Scenario",
+    "ShardRecord",
+    "ShardWindow",
+    "plan_windows",
+]

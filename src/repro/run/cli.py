@@ -1,0 +1,432 @@
+"""The ``python -m repro`` command line.
+
+Four subcommands replace the plumbing the example scripts used to carry:
+
+* ``run``    — one campaign: build a spec, grade it sharded (resuming
+  from ``runs/<campaign-id>/`` when present), print the paper-style
+  summary and cycle breakdown.
+* ``sweep``  — circuits x techniques x engines; renders a Table-2-style
+  table per circuit (with the paper's reference numbers for b14 at
+  paper scale) from one shared oracle per circuit.
+* ``report`` — the full paper reproduction (Tables 1-2, classification,
+  speedup, Figure 1, optional crossover) for any registered circuit.
+* ``bench``  — wall-clock of the sharded runner at several worker
+  counts; the orchestration-overhead row of the perf trajectory.
+
+Every subcommand accepts the spec fields as flags, so any campaign the
+library can describe can be launched, resumed and reported from the
+shell::
+
+    python -m repro run --circuit b04 --technique time_multiplexed
+    python -m repro sweep --circuits b14 --workers 4
+    python -m repro report --circuit b09 --no-crossover
+    python -m repro bench --workers 1 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.emu.board import BOARDS
+from repro.emu.instrument import TECHNIQUES
+from repro.errors import ReproError
+from repro.run.runner import CampaignRunner, default_pool_workers
+from repro.run.spec import TESTBENCH_KINDS, CampaignSpec
+from repro.sim.backends import available_engines
+from repro.sim.parallel import DEFAULT_BACKEND
+
+DEFAULT_STORE_ROOT = "runs"
+
+
+# ----------------------------------------------------------------------
+# argument plumbing
+# ----------------------------------------------------------------------
+def _add_spec_arguments(parser: argparse.ArgumentParser, single: bool) -> None:
+    """Flags mapping 1:1 onto CampaignSpec fields.
+
+    ``single`` selects one-campaign form (``--circuit``/``--technique``)
+    vs sweep form (``--circuits``/``--techniques``/``--engines``).
+    """
+    if single:
+        parser.add_argument(
+            "--circuit", default="b14", help="registered circuit name"
+        )
+        parser.add_argument(
+            "--technique",
+            default="time_multiplexed",
+            choices=TECHNIQUES,
+            help="autonomous emulation technique",
+        )
+        parser.add_argument(
+            "--engine",
+            default=DEFAULT_BACKEND,
+            choices=sorted(available_engines()),
+            help="fault-grading backend",
+        )
+    else:
+        parser.add_argument(
+            "--circuits",
+            nargs="+",
+            default=["b14"],
+            help="registered circuit names to sweep",
+        )
+        parser.add_argument(
+            "--techniques",
+            nargs="+",
+            default=list(TECHNIQUES),
+            choices=TECHNIQUES,
+            help="techniques to sweep",
+        )
+        parser.add_argument(
+            "--engines",
+            nargs="+",
+            default=[DEFAULT_BACKEND],
+            choices=sorted(available_engines()),
+            help="grading backends to sweep",
+        )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        help="testbench length (default: the circuit's paper/default length)",
+    )
+    parser.add_argument(
+        "--testbench",
+        default="auto",
+        choices=TESTBENCH_KINDS,
+        help="stimulus generator",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="grade a deterministic fault sample instead of the complete set",
+    )
+    parser.add_argument("--scan-chains", type=int, default=1)
+    parser.add_argument(
+        "--board", default="rc1000", choices=sorted(BOARDS)
+    )
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="grading processes (>=2 enables the process pool)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: 4 per worker)",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_ROOT,
+        help=f"results-store root (default: {DEFAULT_STORE_ROOT}/)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not persist shards (disables resume)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore completed shards in the store and regrade",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-shard progress"
+    )
+
+
+def _runner_from(args: argparse.Namespace) -> CampaignRunner:
+    return CampaignRunner(
+        workers=args.workers,
+        shards=args.shards,
+        store_root=None if args.no_store else args.store,
+        resume=not args.no_resume,
+        progress=None if args.quiet else lambda line: print(line, flush=True),
+    )
+
+
+def _spec_from(args: argparse.Namespace) -> CampaignSpec:
+    return CampaignSpec(
+        circuit=args.circuit,
+        technique=args.technique,
+        board=args.board,
+        engine=args.engine,
+        num_cycles=args.cycles,
+        testbench=args.testbench,
+        seed=args.seed,
+        sample=args.sample,
+        scan_chains=args.scan_chains,
+    )
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from(args)
+    runner = _runner_from(args)
+    started = time.perf_counter()
+    result = runner.run(spec)
+    elapsed = time.perf_counter() - started
+    breakdown = result.breakdown
+    print(result.summary())
+    print(
+        f"  cycles: prologue={breakdown.prologue:,} setup={breakdown.setup:,} "
+        f"run={breakdown.run:,} readback={breakdown.readback:,}"
+        + "".join(
+            f" {key}={value:,}" for key, value in breakdown.extra.items()
+        )
+    )
+    if not args.no_store:
+        print(f"  store: {os.path.join(args.store, spec.campaign_id)}")
+    print(f"  wall clock: {elapsed:.3f}s ({args.workers} worker(s))")
+    if args.json:
+        payload = {
+            "spec": spec.to_dict(),
+            "campaign_id": spec.campaign_id,
+            "total_cycles": result.total_cycles,
+            "emulation_ms": result.timing.milliseconds,
+            "us_per_fault": result.timing.us_per_fault,
+            "classification": {
+                verdict.value: count
+                for verdict, count in result.dictionary.counts().items()
+            },
+            "wall_seconds": round(elapsed, 4),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.eval.paper import PAPER_TABLE2
+    from repro.util.tables import Table
+
+    if len(set(args.engines)) > 1 and not args.no_store:
+        # The store is keyed by the oracle (engines are bit-identical),
+        # so a stored campaign would satisfy every engine without the
+        # later ones ever running; grade fresh so each engine really
+        # does the work it is labelled with.
+        print("multi-engine sweep: store disabled so every engine grades")
+        args.no_store = True
+    runner = _runner_from(args)
+    for circuit in args.circuits:
+        specs = CampaignSpec.matrix(
+            circuits=[circuit],
+            techniques=args.techniques,
+            engines=args.engines,
+            board=args.board,
+            num_cycles=args.cycles,
+            testbench=args.testbench,
+            seed=args.seed,
+            sample=args.sample,
+            scan_chains=args.scan_chains,
+        )
+        results = runner.sweep(specs)
+        table = Table(
+            ["technique", "engine", "emulation time (ms)",
+             "avg speed (us/fault)", "cycles/fault"],
+            title=(
+                f"Sweep — {circuit} ({results[0].num_faults} faults, "
+                f"{results[0].num_cycles} cycles)"
+            ),
+        )
+        for spec, result in zip(specs, results):
+            table.add_row(
+                [
+                    spec.technique,
+                    spec.engine,
+                    f"{result.timing.milliseconds:.2f}",
+                    f"{result.timing.us_per_fault:.2f}",
+                    f"{result.timing.cycles_per_fault:.1f}",
+                ]
+            )
+        print(table.render())
+        at_paper_scale = (
+            circuit == "b14"
+            and args.cycles in (None, 160)
+            and args.sample is None
+            and args.testbench in ("auto", "program")
+            and args.seed == 0
+        )
+        if at_paper_scale:
+            print("\npaper reference (Table 2):")
+            for technique in args.techniques:
+                ref = PAPER_TABLE2[technique]
+                print(
+                    f"  {technique}: {ref['emulation_ms']:.2f} ms, "
+                    f"{ref['us_per_fault']:.2f} us/fault"
+                )
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import ExperimentContext, run_all_experiments
+
+    context = ExperimentContext(
+        circuit=args.circuit,
+        seed=args.seed,
+        engine=args.engine,
+        include_crossover=not args.no_crossover,
+        workers=args.workers,
+        shards=args.shards,
+        store_root=None if args.no_store else args.store,
+        resume=not args.no_resume,
+        progress=None if args.quiet else lambda line: print(line, flush=True),
+        num_cycles=args.cycles,
+    )
+    report = run_all_experiments(context)
+    print(report.render())
+    if report.crossover is not None:
+        print("\npaper claim checks:")
+        for claim, holds in report.crossover.paper_claims_hold().items():
+            print(f"  {claim}: {'HOLDS' if holds else 'VIOLATED'}")
+    fastest = report.table2.fastest()
+    print(
+        f"  fastest technique on {args.circuit}: {fastest} "
+        f"({'matches paper' if fastest == 'time_multiplexed' else 'differs!'})"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.util.tables import Table
+
+    spec = _spec_from(args)
+    if args.quick and args.cycles is None:
+        spec = CampaignSpec.from_dict({**spec.to_dict(), "num_cycles": 48})
+    rows = []
+    baseline = None
+    for workers in args.workers_list:
+        runner = CampaignRunner(workers=workers, shards=args.shards)
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            started = time.perf_counter()
+            oracle = runner.grade(spec)
+            best = min(best, time.perf_counter() - started)
+        if baseline is None:
+            baseline = best
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": round(best, 4),
+                "us_per_fault": round(best * 1e6 / oracle.num_faults, 3),
+                "speedup_vs_serial": round(baseline / best, 2),
+            }
+        )
+    table = Table(
+        ["workers", "seconds", "us/fault", "speedup vs workers=1"],
+        title=(
+            f"Sharded runner — {spec.circuit}, "
+            f"{spec.resolved_cycles()} cycles"
+        ),
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["workers"],
+                f"{row['seconds']:.3f}",
+                f"{row['us_per_fault']:.3f}",
+                f"{row['speedup_vs_serial']:.2f}x",
+            ]
+        )
+    print(table.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"spec": spec.to_dict(), "rows": rows},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Campaign orchestration for the autonomous-emulation "
+        "reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run one campaign (sharded, resumable)"
+    )
+    _add_spec_arguments(run_parser, single=True)
+    _add_runner_arguments(run_parser)
+    run_parser.add_argument(
+        "--json", action="store_true", help="also print a JSON record"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="sweep circuits x techniques x engines"
+    )
+    _add_spec_arguments(sweep_parser, single=False)
+    _add_runner_arguments(sweep_parser)
+    # sweeps default to the sharded pool (run stays serial by default)
+    sweep_parser.set_defaults(
+        func=_cmd_sweep, workers=default_pool_workers()
+    )
+
+    report_parser = commands.add_parser(
+        "report", help="full paper reproduction for one circuit"
+    )
+    report_parser.add_argument("--circuit", default="b14")
+    report_parser.add_argument(
+        "--engine", default=DEFAULT_BACKEND,
+        choices=sorted(available_engines()),
+    )
+    report_parser.add_argument("--cycles", type=int, default=None)
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--no-crossover", action="store_true")
+    _add_runner_arguments(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    bench_parser = commands.add_parser(
+        "bench", help="time the sharded runner at several worker counts"
+    )
+    _add_spec_arguments(bench_parser, single=True)
+    bench_parser.add_argument(
+        "--workers",
+        dest="workers_list",
+        type=int,
+        nargs="+",
+        default=[1, default_pool_workers()],
+        help="worker counts to time",
+    )
+    bench_parser.add_argument("--shards", type=int, default=None)
+    bench_parser.add_argument("--repeats", type=int, default=2)
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="shrink the campaign for CI"
+    )
+    bench_parser.add_argument("--json", default=None, help="JSON output path")
+    bench_parser.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,359 @@
+"""Sharded, resumable campaign execution.
+
+:class:`CampaignRunner` turns a :class:`~repro.run.spec.CampaignSpec`
+into a :class:`~repro.emu.campaign.CampaignResult` by
+
+1. splitting the campaign's fault list into contiguous cycle-window
+   shards (fault lists are cycle-major, so windows are contiguous
+   slices),
+2. grading shards concurrently in a ``ProcessPoolExecutor`` — each
+   worker rebuilds the scenario once and keeps the per-process session
+   caches warm — or in-process when ``workers <= 1``,
+3. checkpointing every completed shard to a JSONL
+   :class:`~repro.run.store.ResultsStore` (``<store_root>/<campaign-id>/``)
+   so an interrupted campaign resumes without re-grading finished
+   shards, and
+4. merging shard outcomes back into one
+   :class:`~repro.sim.parallel.FaultGradingResult` in fault-list order
+   and accounting cycles with the same vectorized functions the serial
+   path uses — merged results are bit-exact with
+   :func:`repro.emu.campaign.run_campaign`.
+
+Grading dominates campaign cost and is technique-independent, so the
+runner shards *grading*; accounting for any technique is a vectorized
+reduction over the merged oracle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import repro
+from repro.emu.board import BoardModel
+from repro.emu.campaign import CampaignResult, run_campaign
+from repro.errors import CampaignError
+from repro.faults.model import SeuFault
+from repro.netlist.netlist import Netlist
+from repro.run import worker
+from repro.run.spec import CampaignSpec, Scenario
+from repro.run.store import ResultsStore, ShardRecord
+from repro.sim.cache import compiled_for, golden_for
+from repro.sim.parallel import (
+    DEFAULT_BACKEND,
+    FaultGradingResult,
+    grade_faults,
+)
+from repro.sim.vectors import Testbench
+
+#: shards per worker when the caller does not fix a shard count — enough
+#: granularity that resume rarely repeats much work, coarse enough that
+#: per-shard overhead stays negligible.
+SHARDS_PER_WORKER = 4
+
+
+def default_pool_workers() -> int:
+    """Default process-pool size for sweeps and benchmarks: at least 2
+    (otherwise it is not a pool), at most 4 (grading saturates memory
+    bandwidth before core count on typical hosts)."""
+    return max(2, min(4, os.cpu_count() or 2))
+
+
+@dataclass(frozen=True)
+class ShardWindow:
+    """One contiguous cycle window of a campaign's fault list."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+
+
+def plan_windows(num_cycles: int, num_shards: int) -> List[ShardWindow]:
+    """Balanced contiguous cycle windows covering [0, num_cycles)."""
+    if num_cycles <= 0:
+        raise CampaignError("cannot shard a zero-cycle campaign")
+    count = max(1, min(num_shards, num_cycles))
+    base, extra = divmod(num_cycles, count)
+    windows = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        windows.append(ShardWindow(index, start, start + size))
+        start += size
+    return windows
+
+
+class CampaignRunner:
+    """Executes campaign specs, sharded and resumable.
+
+    Parameters:
+        workers: grading processes. ``<= 1`` grades in-process (same
+            code path, no pool).
+        shards: shard count override; default ``SHARDS_PER_WORKER x
+            max(workers, 1)``, capped at the testbench length.
+        store_root: directory holding per-campaign stores; ``None``
+            disables persistence (grading is kept in memory only).
+        resume: reuse completed shards found in the store. ``False``
+            drops them and regrades from scratch.
+        progress: optional callback receiving one line per completed
+            shard (the CLI passes ``print``).
+        mp_context: multiprocessing start method; defaults to ``fork``
+            where available (inherits warm caches), else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        store_root: Optional[str] = None,
+        resume: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+        mp_context: Optional[str] = None,
+    ):
+        if shards is not None and shards < 1:
+            raise CampaignError("shards must be at least 1")
+        self.workers = max(0, int(workers))
+        self.shards = shards
+        self.store_root = store_root
+        self.resume = resume
+        self.progress = progress
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, spec: CampaignSpec) -> List[ShardWindow]:
+        """The shard plan this runner would use for ``spec``."""
+        num_shards = self.shards or SHARDS_PER_WORKER * max(1, self.workers)
+        return plan_windows(spec.resolved_cycles(), num_shards)
+
+    # ------------------------------------------------------------------
+    # grading
+    # ------------------------------------------------------------------
+    def grade(self, spec: CampaignSpec) -> FaultGradingResult:
+        """Grade one spec's fault list, sharded (and resumed if stored)."""
+        _, oracle = self._graded(spec)
+        return oracle
+
+    def _graded(self, spec: CampaignSpec) -> Tuple[Scenario, FaultGradingResult]:
+        scenario = worker.scenario_for(spec)
+        windows = self.plan(spec)
+        store = None
+        done: Dict[int, ShardRecord] = {}
+        if self.store_root is not None:
+            store = ResultsStore.open(
+                self.store_root,
+                spec.oracle_key(),
+                spec.campaign_id,
+                [(w.start_cycle, w.end_cycle) for w in windows],
+                fresh=not self.resume,
+            )
+            # A store graded under another plan (e.g. a different worker
+            # count last time) keeps its plan; completed shards stay
+            # mergeable instead of forcing a regrade.
+            windows = [
+                ShardWindow(index, start, end)
+                for index, (start, end) in enumerate(store.windows)
+            ]
+            done = store.completed()
+
+        pending = [window for window in windows if window.index not in done]
+        if done and self.progress:
+            self.progress(
+                f"[{spec.campaign_id}] resuming: {len(done)}/{len(windows)} "
+                "shards already graded"
+            )
+        spec_dict = spec.to_dict()
+        for record in self._grade_shards(spec_dict, pending):
+            done[record.index] = record
+            if store is not None:
+                store.append(record)
+            if self.progress:
+                self.progress(
+                    f"[{spec.campaign_id}] shard {record.index + 1}/"
+                    f"{len(windows)}: cycles [{record.start_cycle}, "
+                    f"{record.end_cycle}) — {record.num_faults} faults in "
+                    f"{record.elapsed_s:.3f}s"
+                )
+        return scenario, self._merge(spec, scenario, windows, done)
+
+    def _grade_shards(
+        self, spec_dict: Dict, pending: Sequence[ShardWindow]
+    ) -> Iterator[ShardRecord]:
+        if not pending:
+            return
+        if self.workers >= 2:
+            yield from self._grade_pool(spec_dict, pending)
+        else:
+            for window in pending:
+                yield ShardRecord.from_json_obj(
+                    worker.grade_window(
+                        spec_dict,
+                        window.index,
+                        window.start_cycle,
+                        window.end_cycle,
+                    )
+                )
+
+    def _grade_pool(
+        self, spec_dict: Dict, pending: Sequence[ShardWindow]
+    ) -> Iterator[ShardRecord]:
+        """Fan shards out to a process pool, yielding as they complete."""
+        start_method = self.mp_context or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(start_method)
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            mp_context=context,
+            initializer=worker.worker_init,
+            initargs=(package_root,),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    worker.grade_window,
+                    spec_dict,
+                    window.index,
+                    window.start_cycle,
+                    window.end_cycle,
+                )
+                for window in pending
+            }
+            while futures:
+                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    yield ShardRecord.from_json_obj(future.result())
+
+    def _merge(
+        self,
+        spec: CampaignSpec,
+        scenario: Scenario,
+        windows: Sequence[ShardWindow],
+        done: Dict[int, ShardRecord],
+    ) -> FaultGradingResult:
+        """Concatenate shard outcomes in fault-list order, verified."""
+        fail: List[int] = []
+        vanish: List[int] = []
+        cycles = worker.injection_cycles(spec)
+        for window in windows:
+            record = done.get(window.index)
+            if record is None:
+                raise CampaignError(
+                    f"shard {window.index} of {spec.campaign_id} missing "
+                    "after grading"
+                )
+            lo, hi = worker.window_slice(
+                cycles, window.start_cycle, window.end_cycle
+            )
+            if (
+                record.start_cycle != window.start_cycle
+                or record.end_cycle != window.end_cycle
+                or record.num_faults != hi - lo
+            ):
+                raise CampaignError(
+                    f"stored shard {window.index} of {spec.campaign_id} "
+                    "disagrees with the current shard plan; delete the "
+                    "store directory to regrade"
+                )
+            fail.extend(record.fail_cycles)
+            vanish.extend(record.vanish_cycles)
+        if len(fail) != len(scenario.faults):
+            raise CampaignError(
+                f"merged shards cover {len(fail)} faults, campaign has "
+                f"{len(scenario.faults)}"
+            )
+        compiled = compiled_for(scenario.netlist)
+        return FaultGradingResult(
+            faults=scenario.faults,
+            num_cycles=scenario.testbench.num_cycles,
+            flop_names=[flop.name for flop in compiled.flops],
+            golden=golden_for(compiled, scenario.testbench),
+            fail_cycles=fail,
+            vanish_cycles=vanish,
+        )
+
+    def grade_scenario(
+        self,
+        netlist: Netlist,
+        testbench: Testbench,
+        faults: Sequence[SeuFault],
+        engine: str = DEFAULT_BACKEND,
+    ) -> FaultGradingResult:
+        """Grade an explicit (netlist, testbench, faults) scenario.
+
+        Ad-hoc scenarios have no declarative description to ship to
+        worker processes or key a store on, so they grade serially
+        in-process — the reference path the sharded one is verified
+        against.
+        """
+        return grade_faults(netlist, testbench, faults, backend=engine)
+
+    # ------------------------------------------------------------------
+    # campaigns
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: CampaignSpec,
+        board: Optional[BoardModel] = None,
+        oracle: Optional[FaultGradingResult] = None,
+    ) -> CampaignResult:
+        """Execute one campaign end to end.
+
+        ``board`` overrides the spec's board model (eval experiments
+        thread explicit :class:`BoardModel` instances through).
+        ``oracle`` skips grading when the caller already holds this
+        campaign's merged grading result.
+        """
+        if oracle is None:
+            scenario, oracle = self._graded(spec)
+        else:
+            scenario = worker.scenario_for(spec)
+        return run_campaign(
+            scenario.netlist,
+            scenario.testbench,
+            spec.technique,
+            board=board or spec.board_model(),
+            faults=scenario.faults,
+            oracle=oracle,
+            scan_chains=spec.scan_chains,
+            engine=spec.engine,
+        )
+
+    def sweep(
+        self,
+        specs: Iterable[CampaignSpec],
+        board: Optional[BoardModel] = None,
+    ) -> List[CampaignResult]:
+        """Run many specs, grading each distinct oracle exactly once.
+
+        Specs sharing an oracle key (same circuit/testbench/faults —
+        e.g. the three techniques of one Table-2 row, or several
+        ``scan_chains`` settings) reuse one merged grading result, like
+        the serial experiment harness shares its oracle.
+        """
+        graded: Dict[Tuple[str, str], Tuple[Scenario, FaultGradingResult]] = {}
+        results = []
+        for spec in specs:
+            key = (spec.campaign_id, spec.engine)
+            if key not in graded:
+                graded[key] = self._graded(spec)
+            scenario, oracle = graded[key]
+            results.append(
+                run_campaign(
+                    scenario.netlist,
+                    scenario.testbench,
+                    spec.technique,
+                    board=board or spec.board_model(),
+                    faults=scenario.faults,
+                    oracle=oracle,
+                    scan_chains=spec.scan_chains,
+                    engine=spec.engine,
+                )
+            )
+        return results

@@ -1,0 +1,266 @@
+"""Declarative campaign descriptions.
+
+A :class:`CampaignSpec` is a frozen, serializable value describing one
+fault-injection campaign end to end: which registered circuit, which
+autonomous technique, which board and grading engine, how the stimulus is
+generated and how the fault list is drawn. Everything downstream — the
+sharded :class:`~repro.run.runner.CampaignRunner`, the JSONL
+:class:`~repro.run.store.ResultsStore`, the ``python -m repro`` CLI and
+the eval tables — consumes specs instead of ad-hoc (netlist, testbench,
+faults) plumbing, so any campaign can be named, persisted, resumed and
+swept.
+
+The split mirrors config-driven injection frameworks (DAVOS's campaign
+configuration, DrSEUs's campaign database): the *description* of a
+campaign is data; only the runner turns it into work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.circuits.registry import build_circuit
+from repro.emu.board import BoardModel, board_by_name
+from repro.emu.instrument import TECHNIQUES
+from repro.errors import CampaignError
+from repro.faults.model import SeuFault, exhaustive_fault_list
+from repro.faults.sampling import sample_fault_list
+from repro.netlist.netlist import Netlist
+from repro.sim.parallel import DEFAULT_BACKEND
+from repro.sim.vectors import (
+    Testbench,
+    burst_testbench,
+    constant_testbench,
+    random_testbench,
+    walking_ones_testbench,
+)
+
+#: Stimulus generators a spec may name. ``auto`` resolves per circuit:
+#: the paper's instruction-shaped program bench for b14, random stimulus
+#: otherwise.
+TESTBENCH_KINDS = (
+    "auto",
+    "program",
+    "random",
+    "burst",
+    "walking_ones",
+    "constant",
+)
+
+#: Default testbench lengths when a spec leaves ``num_cycles`` unset:
+#: the paper's 160 stimulus vectors for b14, a short generic bench
+#: otherwise.
+PAPER_CYCLES = {"b14": 160}
+DEFAULT_CYCLES = 64
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A spec resolved into concrete objects, ready to grade."""
+
+    netlist: Netlist
+    testbench: Testbench
+    faults: List[SeuFault]
+
+
+def default_testbench_for(
+    netlist: Netlist, num_cycles: Optional[int] = None, seed: int = 0
+) -> Testbench:
+    """Default stimulus for a circuit *object*, by the same rule specs
+    use for circuit names: b14 gets the paper's instruction-shaped
+    program bench at paper length, everything else random stimulus.
+    Keeps the explicit-netlist eval path and the spec path agreeing on
+    what "default" means for one circuit.
+    """
+    cycles = (
+        num_cycles
+        if num_cycles is not None
+        else PAPER_CYCLES.get(netlist.name, DEFAULT_CYCLES)
+    )
+    if netlist.name == "b14":
+        from repro.circuits.itc99.b14 import b14_program_testbench
+
+        return b14_program_testbench(netlist, cycles, seed=seed)
+    return random_testbench(netlist, cycles, seed=seed)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign, as data.
+
+    ``circuit`` names a :mod:`repro.circuits.registry` entry (including
+    the parameterized ``proc:<flops>`` family). ``num_cycles`` of ``None``
+    means the circuit's paper/default length. ``sample`` of ``None`` means
+    the complete single-fault set; a positive value draws that many faults
+    deterministically from it. All fields are plain values so a spec
+    round-trips through JSON unchanged.
+    """
+
+    circuit: str
+    technique: str
+    board: str = "rc1000"
+    engine: str = DEFAULT_BACKEND
+    num_cycles: Optional[int] = None
+    testbench: str = "auto"
+    seed: int = 0
+    sample: Optional[int] = None
+    scan_chains: int = 1
+
+    def __post_init__(self) -> None:
+        if self.technique not in TECHNIQUES:
+            raise CampaignError(
+                f"unknown technique {self.technique!r}; expected one of "
+                f"{TECHNIQUES}"
+            )
+        if self.testbench not in TESTBENCH_KINDS:
+            raise CampaignError(
+                f"unknown testbench kind {self.testbench!r}; expected one "
+                f"of {TESTBENCH_KINDS}"
+            )
+        if self.num_cycles is not None and self.num_cycles <= 0:
+            raise CampaignError("num_cycles must be positive")
+        if self.sample is not None and self.sample <= 0:
+            raise CampaignError("sample must be positive")
+        if self.scan_chains < 1:
+            raise CampaignError("scan_chains must be at least 1")
+        board_by_name(self.board)  # fail early on unknown boards
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolved_cycles(self) -> int:
+        """Testbench length after applying per-circuit defaults."""
+        if self.num_cycles is not None:
+            return self.num_cycles
+        return PAPER_CYCLES.get(self.circuit, DEFAULT_CYCLES)
+
+    def resolved_testbench_kind(self) -> str:
+        """Testbench kind after resolving ``auto``."""
+        if self.testbench != "auto":
+            return self.testbench
+        return "program" if self.circuit == "b14" else "random"
+
+    def board_model(self) -> BoardModel:
+        return board_by_name(self.board)
+
+    def build_netlist(self) -> Netlist:
+        return build_circuit(self.circuit)
+
+    def build_testbench(self, netlist: Netlist) -> Testbench:
+        kind = self.resolved_testbench_kind()
+        cycles = self.resolved_cycles()
+        if kind == "program":
+            if self.circuit != "b14":
+                raise CampaignError(
+                    "the program testbench is b14's instruction stimulus; "
+                    f"circuit {self.circuit!r} cannot use it"
+                )
+            from repro.circuits.itc99.b14 import b14_program_testbench
+
+            return b14_program_testbench(netlist, cycles, seed=self.seed)
+        if kind == "random":
+            return random_testbench(netlist, cycles, seed=self.seed)
+        if kind == "burst":
+            return burst_testbench(netlist, cycles, seed=self.seed)
+        if kind == "walking_ones":
+            return walking_ones_testbench(netlist, cycles)
+        return constant_testbench(netlist, cycles)
+
+    def build_faults(self, netlist: Netlist) -> List[SeuFault]:
+        faults = exhaustive_fault_list(netlist, self.resolved_cycles())
+        if self.sample is not None:
+            faults = sample_fault_list(faults, self.sample, seed=self.seed)
+        return faults
+
+    def scenario(self) -> Scenario:
+        """Resolve the spec into concrete netlist/testbench/faults."""
+        netlist = self.build_netlist()
+        return Scenario(
+            netlist=netlist,
+            testbench=self.build_testbench(netlist),
+            faults=self.build_faults(netlist),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization and identity
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-dict form; ``from_dict`` inverts it exactly."""
+        return {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSpec":
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignError(
+                f"unknown CampaignSpec fields: {', '.join(sorted(unknown))}"
+            )
+        return cls(**data)
+
+    def oracle_key(self) -> Dict:
+        """The fields that determine grading outcomes.
+
+        Technique, board, engine and scan_chains do not change a fault's
+        fail/vanish cycles (all grading engines are bit-identical, and the
+        other three only affect accounting), so campaigns differing only
+        in those share one oracle — and one results store.
+        """
+        return {
+            "circuit": self.circuit,
+            "testbench": self.resolved_testbench_kind(),
+            "num_cycles": self.resolved_cycles(),
+            "seed": self.seed,
+            "sample": self.sample,
+        }
+
+    @property
+    def campaign_id(self) -> str:
+        """Stable, filesystem-safe identity of this campaign's oracle."""
+        canonical = json.dumps(self.oracle_key(), sort_keys=True)
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", self.circuit)
+        return f"{slug}-{digest}"
+
+    def with_technique(self, technique: str) -> "CampaignSpec":
+        return replace(self, technique=technique)
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+    @classmethod
+    def matrix(
+        cls,
+        circuits: Sequence[str],
+        techniques: Optional[Iterable[str]] = None,
+        engines: Optional[Iterable[str]] = None,
+        **common,
+    ) -> List["CampaignSpec"]:
+        """Expand circuits x techniques x engines into a scenario sweep.
+
+        ``common`` supplies the remaining spec fields (seed, num_cycles,
+        sample, ...). Order is circuit-major, then technique, then engine
+        — campaigns sharing an oracle stay adjacent, so a runner sweeping
+        the list grades each circuit once.
+        """
+        technique_list = list(techniques) if techniques else list(TECHNIQUES)
+        engine_list = list(engines) if engines else [DEFAULT_BACKEND]
+        specs = []
+        for circuit in circuits:
+            for technique in technique_list:
+                for engine in engine_list:
+                    specs.append(
+                        cls(
+                            circuit=circuit,
+                            technique=technique,
+                            engine=engine,
+                            **common,
+                        )
+                    )
+        return specs

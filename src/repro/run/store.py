@@ -1,0 +1,210 @@
+"""Resumable campaign results store.
+
+One directory per campaign (``<root>/<campaign-id>/``) holding:
+
+* ``spec.json`` — the manifest: store format version, the spec's oracle
+  key and the shard plan. Opening an existing store re-validates the
+  manifest so a resumed run cannot silently merge shards graded under a
+  different configuration.
+* ``shards.jsonl`` — one JSON line per *completed* shard with its
+  fail/vanish cycles. Appends are flushed per record, so a campaign
+  killed mid-run loses at most the shard being written; a truncated
+  final line is detected and ignored on resume.
+
+The store persists grading outcomes only — the expensive, restartable
+part of a campaign. Cycle accounting is recomputed from the merged
+oracle in microseconds, which keeps the store technique-independent:
+one store serves mask-scan, state-scan and time-mux alike (the paper's
+oracle-sharing observation, made durable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CampaignError
+
+STORE_VERSION = 1
+MANIFEST_FILE = "spec.json"
+SHARDS_FILE = "shards.jsonl"
+
+
+@dataclass
+class ShardRecord:
+    """Grading outcomes of one contiguous cycle-window of faults."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    num_faults: int
+    fail_cycles: List[int] = field(default_factory=list)
+    vanish_cycles: List[int] = field(default_factory=list)
+    engine: str = ""
+    elapsed_s: float = 0.0
+
+    def to_json_line(self) -> str:
+        return json.dumps(
+            {
+                "index": self.index,
+                "start_cycle": self.start_cycle,
+                "end_cycle": self.end_cycle,
+                "num_faults": self.num_faults,
+                "fail_cycles": self.fail_cycles,
+                "vanish_cycles": self.vanish_cycles,
+                "engine": self.engine,
+                "elapsed_s": round(self.elapsed_s, 6),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict) -> "ShardRecord":
+        record = cls(
+            index=int(obj["index"]),
+            start_cycle=int(obj["start_cycle"]),
+            end_cycle=int(obj["end_cycle"]),
+            num_faults=int(obj["num_faults"]),
+            fail_cycles=[int(x) for x in obj["fail_cycles"]],
+            vanish_cycles=[int(x) for x in obj["vanish_cycles"]],
+            engine=str(obj.get("engine", "")),
+            elapsed_s=float(obj.get("elapsed_s", 0.0)),
+        )
+        if (
+            len(record.fail_cycles) != record.num_faults
+            or len(record.vanish_cycles) != record.num_faults
+        ):
+            raise ValueError("shard record arrays disagree with num_faults")
+        return record
+
+
+class ResultsStore:
+    """JSONL persistence for one campaign's completed shards."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        #: the shard plan in force, as (start_cycle, end_cycle) pairs —
+        #: set by :meth:`open` (the stored plan wins over the proposed
+        #: one, so a resumed campaign keeps merging cleanly even when
+        #: the caller's worker count changed).
+        self.windows: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        root: str,
+        oracle_key: Dict,
+        campaign_id: str,
+        windows: Sequence[Tuple[int, int]],
+        fresh: bool = False,
+    ) -> "ResultsStore":
+        """Open (creating if needed) the store for one campaign.
+
+        ``windows`` is the caller's proposed shard plan as
+        ``(start_cycle, end_cycle)`` pairs. A store that already holds a
+        *different* plan for the same oracle keeps its own: shard
+        records only merge under the plan they were graded with, and a
+        changed worker count must not invalidate completed work. The
+        adopted plan is exposed as ``store.windows``. ``fresh`` discards
+        any existing records and re-pins the proposed plan. A store for
+        a different *oracle* (different circuit/stimulus/faults) is an
+        error.
+        """
+        directory = os.path.join(root, campaign_id)
+        os.makedirs(directory, exist_ok=True)
+        store = cls(directory)
+        proposed = [(int(start), int(end)) for start, end in windows]
+        manifest = {
+            "version": STORE_VERSION,
+            "oracle": oracle_key,
+            "windows": [list(pair) for pair in proposed],
+        }
+        existing = store._read_manifest()
+        if existing is None or fresh:
+            store.reset()
+            store._write_manifest(manifest)
+            store.windows = proposed
+            return store
+        if (
+            existing.get("version") != STORE_VERSION
+            or existing.get("oracle") != oracle_key
+        ):
+            raise CampaignError(
+                f"results store {directory} was created for a different "
+                "campaign configuration; delete it (or pick another "
+                "--store root) to regrade"
+            )
+        stored = existing.get("windows") or []
+        store.windows = [(int(start), int(end)) for start, end in stored]
+        return store
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_FILE)
+
+    @property
+    def shards_path(self) -> str:
+        return os.path.join(self.directory, SHARDS_FILE)
+
+    def _read_manifest(self) -> Optional[Dict]:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            raise CampaignError(
+                f"corrupt store manifest {self.manifest_path}; delete the "
+                "store directory to regrade"
+            ) from None
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # shard records
+    # ------------------------------------------------------------------
+    def completed(self) -> Dict[int, ShardRecord]:
+        """All intact shard records, keyed by shard index.
+
+        Tolerates a truncated or garbled trailing line (the signature of
+        a kill mid-append): bad lines are skipped, not fatal. Duplicate
+        indices keep the last record.
+        """
+        records: Dict[int, ShardRecord] = {}
+        try:
+            handle = open(self.shards_path, "r", encoding="utf-8")
+        except FileNotFoundError:
+            return records
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = ShardRecord.from_json_obj(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    continue  # partial write from an interrupted run
+                records[record.index] = record
+        return records
+
+    def append(self, record: ShardRecord) -> None:
+        """Durably append one completed shard."""
+        with open(self.shards_path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json_line() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def reset(self) -> None:
+        """Drop all shard records (keeps the manifest)."""
+        try:
+            os.remove(self.shards_path)
+        except FileNotFoundError:
+            pass

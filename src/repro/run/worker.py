@@ -1,0 +1,121 @@
+"""Worker-side shard grading for the campaign runner.
+
+Each pool worker receives (spec dict, cycle window) tasks. The scenario —
+netlist, testbench, full fault list — is rebuilt from the spec once per
+process and memoized here, so the PR-1 session caches
+(:mod:`repro.sim.cache`: compiled netlist, golden trace, fused program)
+are warm for every subsequent shard the worker grades. Workers return
+plain ints/lists only; nothing simulator-side crosses the process
+boundary.
+
+The same functions run in-process when the runner is configured with a
+single worker, so serial and pooled execution share one code path.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from repro.run.spec import CampaignSpec, Scenario
+
+#: per-process scenario memo: campaign id -> resolved scenario
+_SCENARIOS: Dict[str, Scenario] = {}
+#: companion memo: campaign id -> the faults' injection cycles (the
+#: bisection key for window slicing, built once per scenario)
+_CYCLES: Dict[str, List[int]] = {}
+#: memo bound: a scenario pins its full fault list (34,400 objects for
+#: b14), so long-lived processes sweeping many scenarios evict oldest-
+#: first rather than growing without bound. Rebuilding an evicted
+#: scenario is deterministic, so eviction only costs time.
+MAX_CACHED_SCENARIOS = 8
+
+
+def worker_init(path_entry: Optional[str]) -> None:
+    """Pool initializer: make the repro package importable in children.
+
+    With the default ``fork`` start method this is a no-op; under
+    ``spawn`` the parent's ``sys.path`` manipulations (e.g. a
+    ``PYTHONPATH=src`` checkout) are not inherited, so the parent passes
+    its own package location along.
+    """
+    if path_entry and path_entry not in sys.path:
+        sys.path.insert(0, path_entry)
+
+
+def scenario_for(spec: CampaignSpec) -> Scenario:
+    """Resolve (and memoize, per process) the spec's scenario."""
+    key = spec.campaign_id
+    scenario = _SCENARIOS.get(key)
+    if scenario is None:
+        while len(_SCENARIOS) >= MAX_CACHED_SCENARIOS:
+            oldest = next(iter(_SCENARIOS))
+            del _SCENARIOS[oldest]
+            del _CYCLES[oldest]
+        scenario = spec.scenario()
+        _SCENARIOS[key] = scenario
+        _CYCLES[key] = [fault.cycle for fault in scenario.faults]
+    return scenario
+
+
+def injection_cycles(spec: CampaignSpec) -> List[int]:
+    """The (memoized) injection cycle of every fault, fault-list order."""
+    scenario_for(spec)
+    return _CYCLES[spec.campaign_id]
+
+
+def clear_scenarios() -> None:
+    """Drop the per-process scenario memo (tests use this)."""
+    _SCENARIOS.clear()
+    _CYCLES.clear()
+
+
+def window_slice(
+    cycles: List[int], start_cycle: int, end_cycle: int
+) -> Tuple[int, int]:
+    """Fault-list slice [lo, hi) covering one contiguous cycle window.
+
+    ``cycles`` is the faults' injection cycles in fault-list order.
+    Fault lists are cycle-major sorted (exhaustive lists by
+    construction, sampled lists re-sorted by
+    :func:`repro.faults.sampling.sample_fault_list`), so a cycle window
+    is a contiguous slice and shard concatenation reproduces the serial
+    fault order exactly.
+    """
+    return bisect_left(cycles, start_cycle), bisect_left(cycles, end_cycle)
+
+
+def grade_window(
+    spec_dict: Dict, index: int, start_cycle: int, end_cycle: int
+) -> Dict:
+    """Grade the faults of one cycle window; returns a plain record dict."""
+    from repro.sim.parallel import grade_faults
+
+    spec = CampaignSpec.from_dict(spec_dict)
+    scenario = scenario_for(spec)
+    lo, hi = window_slice(injection_cycles(spec), start_cycle, end_cycle)
+    window_faults = scenario.faults[lo:hi]
+    started = time.perf_counter()
+    if window_faults:
+        result = grade_faults(
+            scenario.netlist,
+            scenario.testbench,
+            window_faults,
+            backend=spec.engine,
+        )
+        fail = [int(value) for value in result.fail_cycles]
+        vanish = [int(value) for value in result.vanish_cycles]
+    else:  # a cycle window no sampled fault landed in
+        fail, vanish = [], []
+    return {
+        "index": index,
+        "start_cycle": start_cycle,
+        "end_cycle": end_cycle,
+        "num_faults": len(window_faults),
+        "fail_cycles": fail,
+        "vanish_cycles": vanish,
+        "engine": spec.engine,
+        "elapsed_s": time.perf_counter() - started,
+    }

@@ -45,6 +45,31 @@ class TestGeneral:
                 circuit, bench, "mask_scan", faults=faults[:5], oracle=oracle
             )
 
+    def test_oracle_fault_identity_checked(self, setup):
+        """Same length, different faults: previously accepted silently,
+        producing a wrong dictionary."""
+        circuit, bench, faults, oracle = setup
+        shifted = list(faults[1:]) + [faults[0]]
+        with pytest.raises(CampaignError):
+            run_campaign(
+                circuit, bench, "mask_scan", faults=shifted, oracle=oracle
+            )
+
+    def test_oracle_accepts_equal_fault_copies(self, setup):
+        """Equality is by value: a re-built but identical fault list is a
+        valid pairing with the oracle."""
+        circuit, bench, faults, oracle = setup
+        copies = [
+            SeuFault(
+                cycle=f.cycle, flop_index=f.flop_index, flop_name=f.flop_name
+            )
+            for f in faults
+        ]
+        result = run_campaign(
+            circuit, bench, "mask_scan", faults=copies, oracle=oracle
+        )
+        assert result.num_faults == len(faults)
+
     def test_classification_identical_across_techniques(self, setup):
         circuit, bench, faults, oracle = setup
         counts = [

@@ -1,0 +1,39 @@
+"""Tests for the eval layer's shared scenario resolution."""
+
+from repro.circuits.itc99.b06 import build_b06
+from repro.eval.context import resolve_scenario
+from repro.sim.vectors import random_testbench
+
+
+class TestResolveScenario:
+    def test_name_only_takes_spec_path(self):
+        scenario = resolve_scenario(circuit="b06", num_cycles=10)
+        assert scenario.spec is not None
+        assert scenario.testbench.num_cycles == 10
+
+    def test_explicit_testbench_alone_is_honoured(self):
+        """An explicit testbench without a netlist must be graded as
+        given (against the named circuit), not silently replaced by the
+        spec's default stimulus."""
+        circuit = build_b06()
+        bench = random_testbench(circuit, 8, seed=42)
+        scenario = resolve_scenario(testbench=bench, circuit="b06")
+        assert scenario.spec is None
+        assert scenario.testbench is bench
+        assert scenario.testbench.num_cycles == 8
+        assert len(scenario.faults) == scenario.netlist.num_ffs * 8
+
+    def test_explicit_netlist_gets_default_bench(self):
+        circuit = build_b06()
+        scenario = resolve_scenario(netlist=circuit, num_cycles=9)
+        assert scenario.spec is None
+        assert scenario.testbench.num_cycles == 9
+
+    def test_b14_default_matches_spec_rule(self):
+        """The explicit-netlist path and the spec path agree on what the
+        default b14 stimulus is."""
+        named = resolve_scenario(circuit="b14", num_cycles=12)
+        explicit = resolve_scenario(
+            netlist=named.netlist, num_cycles=12
+        )
+        assert explicit.testbench.vectors == named.testbench.vectors

@@ -1,0 +1,161 @@
+"""Tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.run.cli import main
+
+
+class TestRun:
+    def test_run_prints_summary_and_persists(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b04",
+                "--technique", "time_multiplexed",
+                "--cycles", "16",
+                "--store", str(tmp_path),
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "time_multiplexed on b04" in out
+        assert "us/fault" in out
+        stores = list(tmp_path.iterdir())
+        assert len(stores) == 1
+        assert (stores[0] / "shards.jsonl").exists()
+
+    def test_run_resumes_from_store(self, tmp_path, capsys):
+        args = [
+            "run",
+            "--circuit", "b01",
+            "--technique", "mask_scan",
+            "--cycles", "12",
+            "--store", str(tmp_path),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "resuming" in capsys.readouterr().out
+
+    def test_run_json_record(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b01",
+                "--technique", "mask_scan",
+                "--cycles", "10",
+                "--no-store",
+                "--quiet",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["spec"]["circuit"] == "b01"
+        assert payload["total_cycles"] > 0
+        assert set(payload["classification"]) == {
+            "failure", "latent", "silent"
+        }
+
+    def test_unknown_circuit_is_an_error_not_a_traceback(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b99",
+                "--technique", "mask_scan",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "unknown circuit" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_renders_all_techniques(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--circuits", "b01", "b06",
+                "--cycles", "12",
+                "--no-store",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("Sweep — ") == 2
+        for technique in ("mask_scan", "state_scan", "time_multiplexed"):
+            assert technique in out
+
+    def test_multi_engine_sweep_disables_store(self, tmp_path, capsys):
+        """With a store, a second engine would 'resume' from the first
+        engine's shards and never grade; multi-engine sweeps grade
+        fresh instead."""
+        code = main(
+            [
+                "sweep",
+                "--circuits", "b01",
+                "--engines", "fused", "numpy",
+                "--cycles", "8",
+                "--store", str(tmp_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "store disabled" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_b14_paper_reference_only_at_paper_scale(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--circuits", "b01",
+                "--cycles", "8",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "paper reference" not in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_small_circuit(self, capsys):
+        code = main(
+            [
+                "report",
+                "--circuit", "b03",
+                "--cycles", "12",
+                "--no-crossover",
+                "--no-store",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Fault classification" in out
+        assert "fastest technique on b03" in out
+
+
+class TestBench:
+    def test_bench_quick_single_worker(self, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--circuit", "b01",
+                "--cycles", "12",
+                "--workers", "1",
+                "--repeats", "1",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        assert "Sharded runner" in capsys.readouterr().out
+        payload = json.loads(json_path.read_text())
+        assert payload["rows"][0]["workers"] == 1

@@ -1,0 +1,130 @@
+"""Tests for the declarative CampaignSpec."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.run.spec import CampaignSpec, DEFAULT_CYCLES, PAPER_CYCLES
+
+
+class TestValidation:
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuit="b01", technique="psychic")
+
+    def test_unknown_testbench_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuit="b01", technique="mask_scan", testbench="tarot")
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(Exception):
+            CampaignSpec(circuit="b01", technique="mask_scan", board="ufo")
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuit="b01", technique="mask_scan", num_cycles=0)
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuit="b01", technique="mask_scan", sample=0)
+        with pytest.raises(CampaignError):
+            CampaignSpec(circuit="b01", technique="mask_scan", scan_chains=0)
+
+    def test_program_testbench_is_b14_only(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", testbench="program"
+        )
+        with pytest.raises(CampaignError):
+            spec.build_testbench(spec.build_netlist())
+
+
+class TestResolution:
+    def test_b14_defaults_to_paper_scale(self):
+        spec = CampaignSpec(circuit="b14", technique="mask_scan")
+        assert spec.resolved_cycles() == PAPER_CYCLES["b14"] == 160
+        assert spec.resolved_testbench_kind() == "program"
+
+    def test_other_circuits_default_to_random(self):
+        spec = CampaignSpec(circuit="b04", technique="mask_scan")
+        assert spec.resolved_cycles() == DEFAULT_CYCLES
+        assert spec.resolved_testbench_kind() == "random"
+
+    def test_scenario_shapes(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="state_scan", num_cycles=12
+        )
+        scenario = spec.scenario()
+        assert scenario.testbench.num_cycles == 12
+        assert len(scenario.faults) == scenario.netlist.num_ffs * 12
+
+    def test_sampled_faults_subset_and_sorted(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=16, sample=10
+        )
+        scenario = spec.scenario()
+        assert len(scenario.faults) == 10
+        assert scenario.faults == sorted(scenario.faults)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        spec = CampaignSpec(
+            circuit="b09",
+            technique="time_multiplexed",
+            engine="numpy",
+            num_cycles=40,
+            testbench="burst",
+            seed=3,
+            sample=25,
+            scan_chains=2,
+        )
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_is_json_safe(self):
+        spec = CampaignSpec(circuit="b14", technique="mask_scan")
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_dict(
+                {"circuit": "b01", "technique": "mask_scan", "warp": 9}
+            )
+
+
+class TestIdentity:
+    def test_campaign_id_stable_and_filesystem_safe(self):
+        spec = CampaignSpec(circuit="proc:48", technique="mask_scan")
+        assert spec.campaign_id == spec.campaign_id
+        assert "/" not in spec.campaign_id and ":" not in spec.campaign_id
+
+    def test_techniques_share_an_oracle(self):
+        base = CampaignSpec(circuit="b06", technique="mask_scan")
+        assert (
+            base.campaign_id
+            == base.with_technique("time_multiplexed").campaign_id
+        )
+
+    def test_different_stimulus_different_oracle(self):
+        a = CampaignSpec(circuit="b06", technique="mask_scan", seed=0)
+        b = CampaignSpec(circuit="b06", technique="mask_scan", seed=1)
+        assert a.campaign_id != b.campaign_id
+
+
+class TestMatrix:
+    def test_full_expansion(self):
+        specs = CampaignSpec.matrix(
+            circuits=["b01", "b02"],
+            techniques=["mask_scan", "state_scan"],
+            engines=["numpy", "fused"],
+            num_cycles=8,
+        )
+        assert len(specs) == 8
+        assert len({spec.campaign_id for spec in specs}) == 2  # per circuit
+        assert all(spec.num_cycles == 8 for spec in specs)
+
+    def test_defaults_cover_all_techniques(self):
+        from repro.emu.instrument import TECHNIQUES
+
+        specs = CampaignSpec.matrix(circuits=["b01"])
+        assert [spec.technique for spec in specs] == list(TECHNIQUES)

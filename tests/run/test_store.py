@@ -1,0 +1,110 @@
+"""Tests for the JSONL results store."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.run.store import ResultsStore, ShardRecord
+
+KEY = {"circuit": "b01", "num_cycles": 8, "seed": 0}
+WINDOWS = [(0, 4), (4, 8)]
+
+
+def make_record(index, start, end, count=3):
+    return ShardRecord(
+        index=index,
+        start_cycle=start,
+        end_cycle=end,
+        num_faults=count,
+        fail_cycles=list(range(count)),
+        vanish_cycles=[-1] * count,
+        engine="fused",
+        elapsed_s=0.01,
+    )
+
+
+class TestLifecycle:
+    def test_open_creates_manifest(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        with open(store.manifest_path) as handle:
+            manifest = json.load(handle)
+        assert manifest["oracle"] == KEY
+        assert manifest["windows"] == [[0, 4], [4, 8]]
+
+    def test_reopen_same_config_ok(self, tmp_path):
+        ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+
+    def test_reopen_different_plan_adopts_stored_windows(self, tmp_path):
+        ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", [(0, 8)])
+        assert store.windows == WINDOWS
+
+    def test_reopen_fresh_repins_proposed_plan(self, tmp_path):
+        first = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        first.append(make_record(0, 0, 4))
+        store = ResultsStore.open(
+            str(tmp_path), KEY, "b01-abc", [(0, 8)], fresh=True
+        )
+        assert store.windows == [(0, 8)]
+        assert store.completed() == {}
+
+    def test_reopen_different_oracle_rejected(self, tmp_path):
+        ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        with pytest.raises(CampaignError):
+            ResultsStore.open(
+                str(tmp_path), {**KEY, "seed": 9}, "b01-abc", WINDOWS
+            )
+
+
+class TestShardRecords:
+    def test_append_and_completed(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        store.append(make_record(0, 0, 4))
+        store.append(make_record(1, 4, 8))
+        completed = store.completed()
+        assert sorted(completed) == [0, 1]
+        assert completed[0].fail_cycles == [0, 1, 2]
+        assert completed[1].engine == "fused"
+
+    def test_truncated_tail_line_ignored(self, tmp_path):
+        """A kill mid-append leaves a partial JSON line; resume skips it."""
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        store.append(make_record(0, 0, 4))
+        with open(store.shards_path, "a") as handle:
+            handle.write(make_record(1, 4, 8).to_json_line()[:25])
+        completed = store.completed()
+        assert sorted(completed) == [0]
+
+    def test_garbage_lines_ignored(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        with open(store.shards_path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"index": 0}\n')  # missing fields
+            handle.write(make_record(1, 4, 8).to_json_line() + "\n")
+        assert sorted(store.completed()) == [1]
+
+    def test_inconsistent_record_rejected(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        bad = make_record(0, 0, 4)
+        bad.num_faults = 99  # arrays no longer match
+        with open(store.shards_path, "w") as handle:
+            handle.write(bad.to_json_line() + "\n")
+        assert store.completed() == {}
+
+    def test_duplicate_index_keeps_last(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        store.append(make_record(0, 0, 4))
+        newer = make_record(0, 0, 4)
+        newer.fail_cycles = [7, 7, 7]
+        store.append(newer)
+        assert store.completed()[0].fail_cycles == [7, 7, 7]
+
+    def test_reset_drops_records(self, tmp_path):
+        store = ResultsStore.open(str(tmp_path), KEY, "b01-abc", WINDOWS)
+        store.append(make_record(0, 0, 4))
+        store.reset()
+        assert store.completed() == {}
+        assert os.path.exists(store.manifest_path)
