@@ -1,0 +1,18 @@
+"""Repo-root pytest bootstrap.
+
+The canonical setup is an editable install (``pip install -e .``, which
+CI uses); for a plain checkout this conftest puts ``src/`` on
+``sys.path`` once, so ``python -m pytest`` works for ``tests/`` and
+``benchmarks/`` alike without a ``PYTHONPATH=src`` prefix and without
+each sub-conftest duplicating path logic.
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+    )

@@ -6,10 +6,17 @@ trajectory.
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py [--output BENCH_oracle.json]
+    PYTHONPATH=src python scripts/bench_report.py --check BENCH_oracle.json
 
 The JSON records seconds and us/fault per backend (plus the fused
 engine's pure-numpy fallback path), the speedup of each backend over the
 ``numpy`` reference, and the campaign shape.
+
+``--check`` is the CI regression gate: it re-measures only the fused
+engine (the production oracle) and exits non-zero if its ``us_per_fault``
+regressed more than ``--threshold`` (default 25 %) against the committed
+baseline. It never rewrites the baseline — refreshing it is a deliberate
+act (rerun without ``--check`` and commit the diff).
 """
 
 from __future__ import annotations
@@ -56,11 +63,89 @@ def measure(circuit, bench, faults, backend: str, repeats: int) -> dict:
     }
 
 
+def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
+    """CI gate: fail when the fused engine's us/fault regresses more than
+    ``threshold`` (fractional) against the committed baseline.
+
+    The baseline was recorded on a different machine, so absolute
+    wall-clock numbers are not comparable (shared CI runners vary well
+    beyond 25 % between generations). The gate therefore re-measures the
+    *numpy reference engine* in the same run and scales the baseline's
+    fused number by the observed numpy ratio — machine speed cancels,
+    and what remains is the fused engine's speed relative to a fixed
+    yardstick that changes only when engine code changes.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_fused = baseline["backends"]["fused"]["us_per_fault"]
+    baseline_numpy = baseline["backends"]["numpy"]["us_per_fault"]
+
+    circuit = build_b14()
+    bench = b14_program_testbench(
+        circuit, PAPER_B14["stimulus_vectors"], seed=0
+    )
+    faults = exhaustive_fault_list(circuit, bench.num_cycles)
+    golden_for(compiled_for(circuit), bench)  # shared setup out of the timing
+    grade_faults(circuit, bench, faults, backend="fused")  # warm the program
+    measured = measure(circuit, bench, faults, "fused", repeats)["us_per_fault"]
+    native = bool(get_engine("fused").last_stats.get("native"))
+    if baseline.get("fused_native_kernel") and not native:
+        # Apples to apples: without a C compiler the fused engine runs
+        # its numpy plan, which the committed fused row did not measure.
+        plan_row = baseline["backends"].get("fused (numpy plan)")
+        if plan_row:
+            baseline_fused = plan_row["us_per_fault"]
+            print(
+                "no native kernel here; gating vs the plan-path baseline "
+                f"({baseline_fused:.3f} us/fault)"
+            )
+    numpy_now = measure(circuit, bench, faults, "numpy", max(1, repeats - 1))[
+        "us_per_fault"
+    ]
+    machine_scale = numpy_now / baseline_numpy
+    expected = baseline_fused * machine_scale
+    ratio = measured / expected
+
+    print(
+        f"fused oracle: measured {measured:.3f} us/fault; baseline "
+        f"{baseline_fused:.3f} scaled by numpy ratio "
+        f"{machine_scale:.2f} ({numpy_now:.3f}/{baseline_numpy:.3f}) -> "
+        f"expected {expected:.3f} us/fault ({ratio:.2f}x, gate at "
+        f"{1 + threshold:.2f}x, native kernel: {native})"
+    )
+    if ratio > 1 + threshold:
+        print(
+            f"REGRESSION: fused us_per_fault {measured:.3f} exceeds the "
+            f"{100 * threshold:.0f}% budget over the machine-normalized "
+            f"baseline {expected:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_oracle.json")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help="regression-gate mode: compare the fused engine against this "
+        "committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional us/fault regression tolerated by --check",
+    )
     args = parser.parse_args()
+
+    if args.check:
+        return check_regression(args.check, args.threshold, args.repeats)
 
     circuit = build_b14()
     bench = b14_program_testbench(

@@ -122,6 +122,7 @@ def run_campaign(
         vanish_cycles=oracle.vanish_cycles,
         num_cycles=testbench.num_cycles,
         scan_in_cycles=scan_in_cost(netlist.num_ffs, scan_chains),
+        persistent=any(fault.persistent for fault in faults),
     )
 
     ram = ram_layout_for(
@@ -222,6 +223,7 @@ def technique_per_fault_cycles(
     vanish_cycles,
     num_cycles: int,
     scan_in_cycles: int = 0,
+    persistent: bool = False,
 ) -> CycleBreakdown:
     """Vectorized per-fault cycle accounting for one technique.
 
@@ -231,6 +233,19 @@ def technique_per_fault_cycles(
     may be any slice of a campaign's fault list, so shards account
     independently and their breakdowns sum to the serial result exactly
     (integer arithmetic throughout).
+
+    ``persistent`` marks campaigns whose fault model re-applies a force
+    every cycle (stuck-at, intermittent). Two protocol consequences:
+
+    * **time-multiplexed** loses its disappearance early exit — a forced
+      flop that momentarily matches the golden state can diverge again,
+      so the on-chip detector cannot retire the fault; every persistent
+      fault runs to its fail cycle or the end of the bench.
+    * **state-scan** must re-insert the forced state every emulated
+      cycle (the scanned-in corruption would otherwise be overwritten at
+      the next clock), multiplying its run phase by ``1 + scan_in``
+      cycles per emulated cycle — the per-cycle mask re-application cost
+      the mask-based techniques get for free from their held mask flops.
     """
     injected = np.asarray(fault_cycles, dtype=np.int64)
     fail = np.asarray(fail_cycles, dtype=np.int64)
@@ -239,7 +254,9 @@ def technique_per_fault_cycles(
     breakdown = CycleBreakdown()
     if technique == "mask_scan":
         # Replay from cycle 0 with the on-chip comparator: stop one cycle
-        # after the first mismatch, or run the whole testbench.
+        # after the first mismatch, or run the whole testbench. The mask
+        # flops hold the target (and, for persistent models, the force)
+        # for the whole replay, so persistence costs no extra cycles.
         stop = np.where(fail < 0, num_cycles, np.minimum(fail + 1, num_cycles))
         breakdown.setup = MASK_PROGRAM_CYCLES * count
         breakdown.run = int(stop.sum())
@@ -247,14 +264,21 @@ def technique_per_fault_cycles(
     elif technique == "state_scan":
         stop = np.where(fail < 0, num_cycles, np.minimum(fail + 1, num_cycles))
         breakdown.setup = (scan_in_cycles + STATE_LOAD_CYCLES) * count
-        breakdown.run = int((stop - injected).sum())
+        run_cycles = stop - injected
+        if persistent:
+            run_cycles = run_cycles * (1 + scan_in_cycles)
+        breakdown.run = int(run_cycles.sum())
         breakdown.readback = VERDICT_WRITE_CYCLES * count
     elif technique == "time_multiplexed":
         last = num_cycles - 1
-        stop = np.minimum(
-            np.where(fail < 0, last, fail), np.where(vanish < 0, last, vanish)
-        )
-        np.minimum(stop, last, out=stop)
+        fail_stop = np.where(fail < 0, last, fail)
+        if persistent:
+            stop = np.minimum(fail_stop, last)
+        else:
+            stop = np.minimum(
+                fail_stop, np.where(vanish < 0, last, vanish)
+            )
+            np.minimum(stop, last, out=stop)
         breakdown.setup = (MASK_PROGRAM_CYCLES + STATE_LOAD_CYCLES) * count
         breakdown.run = int(2 * (stop - injected + 1).sum())
         breakdown.readback = VERDICT_WRITE_CYCLES * count
@@ -270,6 +294,7 @@ def technique_breakdown(
     vanish_cycles,
     num_cycles: int,
     scan_in_cycles: int = 0,
+    persistent: bool = False,
 ) -> CycleBreakdown:
     """Full campaign accounting: prologue + per-fault cycles."""
     breakdown = technique_prologue(technique, num_cycles)
@@ -281,6 +306,7 @@ def technique_breakdown(
             vanish_cycles,
             num_cycles,
             scan_in_cycles,
+            persistent,
         )
     )
     return breakdown

@@ -17,14 +17,26 @@ from repro.errors import InstrumentationError
 TECHNIQUES = ("mask_scan", "state_scan", "time_multiplexed")
 
 
-def instrument_circuit(netlist, technique: str) -> InstrumentedCircuit:
-    """Apply the named technique's transform to ``netlist``."""
+def instrument_circuit(
+    netlist, technique: str, fault_model: str = "seu"
+) -> InstrumentedCircuit:
+    """Apply the named technique's transform to ``netlist``.
+
+    ``fault_model`` names a :mod:`repro.faults.models` registry entry;
+    persistent models (stuck-at, intermittent) make the mask-based
+    transforms emit their force-override hardware. State-scan needs no
+    extra gates — it emulates persistence by re-scanning the forced
+    state every cycle, which the campaign accounting charges for.
+    """
+    from repro.faults.models import get_fault_model
+
+    persistent = not get_fault_model(fault_model).transient
     if technique == "mask_scan":
-        return instrument_mask_scan(netlist)
+        return instrument_mask_scan(netlist, persistent=persistent)
     if technique == "state_scan":
         return instrument_state_scan(netlist)
     if technique == "time_multiplexed":
-        return instrument_time_multiplexed(netlist)
+        return instrument_time_multiplexed(netlist, persistent=persistent)
     raise InstrumentationError(
         f"unknown technique {technique!r}; expected one of {TECHNIQUES}"
     )

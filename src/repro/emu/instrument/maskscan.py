@@ -15,8 +15,18 @@ Per original flop ``i`` the transform adds:
   while mask bit ``i`` is set flips exactly that flop for that cycle: the
   SEU bit-flip model in hardware.
 
+With ``persistent=True`` (stuck-at and intermittent fault models) each
+flop additionally gets a *force override*: while ``ms_force`` is held and
+mask bit ``i`` is set, consumers see ``ms_force_val`` instead of the flop
+value. The mask flop holds the target across cycles, so a stuck-at fault
+costs the same two programming cycles as an SEU and the controller simply
+holds ``ms_force`` for the rest of the replay (toggling it per the duty
+pattern for intermittent faults) — per-cycle mask re-application in
+hardware, for the price of one control line.
+
 Control ports added: ``ms_row/ms_col`` (mask address), ``ms_set``,
-``ms_rst``, ``ms_inject``.
+``ms_rst``, ``ms_inject`` (+ ``ms_force``/``ms_force_val`` when
+``persistent``).
 """
 
 from __future__ import annotations
@@ -33,8 +43,16 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.validate import validate_netlist
 
 
-def instrument_mask_scan(original: Netlist) -> InstrumentedCircuit:
-    """Apply the mask-scan transform."""
+def instrument_mask_scan(
+    original: Netlist, persistent: bool = False
+) -> InstrumentedCircuit:
+    """Apply the mask-scan transform.
+
+    ``persistent`` adds the force-override path (``ms_force`` /
+    ``ms_force_val``) required by the stuck-at and intermittent fault
+    models; the default instrument is unchanged, keeping the paper's
+    Table 1 area numbers for SEU campaigns.
+    """
     if original.num_ffs == 0:
         raise InstrumentationError(
             f"{original.name!r} has no flip-flops; nothing to instrument"
@@ -52,6 +70,10 @@ def instrument_mask_scan(original: Netlist) -> InstrumentedCircuit:
     )
     reset_all = netlist.add_input("ms_rst")
     inject = netlist.add_input("ms_inject")
+    force_enable = force_value = ""
+    if persistent:
+        force_enable = netlist.add_input("ms_force")
+        force_value = netlist.add_input("ms_force_val")
     not_reset = emitter.gate("inv", [reset_all])
 
     mask_qs = []
@@ -71,7 +93,17 @@ def instrument_mask_scan(original: Netlist) -> InstrumentedCircuit:
 
         # inject: consumers of the original q net see the flipped value
         flip = emitter.gate("and", [mask_q, inject])
-        emitter.gate("xor", [raw_q, flip], output=dff.q)
+        if persistent:
+            # force override: q_eff = flipped XOR (forced AND (flipped
+            # XOR force_val)) — substitutes ms_force_val while the mask
+            # bit and ms_force are both high, leaves q untouched otherwise.
+            flipped = emitter.gate("xor", [raw_q, flip])
+            forced = emitter.gate("and", [mask_q, force_enable])
+            delta = emitter.gate("xor", [flipped, force_value])
+            override = emitter.gate("and", [forced, delta])
+            emitter.gate("xor", [flipped, override], output=dff.q)
+        else:
+            emitter.gate("xor", [raw_q, flip], output=dff.q)
 
     for net in original.outputs:
         netlist.add_output(net)
@@ -86,6 +118,9 @@ def instrument_mask_scan(original: Netlist) -> InstrumentedCircuit:
         "reset": reset_all,
         "inject": inject,
     }
+    if persistent:
+        control_inputs["force"] = force_enable
+        control_inputs["force_value"] = force_value
     for net in address_inputs:
         control_inputs[net] = net
     return InstrumentedCircuit(

@@ -38,8 +38,17 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.validate import validate_netlist
 
 
-def instrument_time_multiplexed(original: Netlist) -> InstrumentedCircuit:
-    """Apply the time-multiplexed (Figure 1) transform."""
+def instrument_time_multiplexed(
+    original: Netlist, persistent: bool = False
+) -> InstrumentedCircuit:
+    """Apply the time-multiplexed (Figure 1) transform.
+
+    ``persistent`` adds a force override on the FAULTY flop
+    (``tm_force`` / ``tm_force_val``): while held with the mask bit set,
+    the faulty run sees the forced value every faulty phase — the
+    stuck-at / intermittent models in hardware. The default instrument
+    is byte-identical to the paper's Figure 1.
+    """
     if original.num_ffs == 0:
         raise InstrumentationError(
             f"{original.name!r} has no flip-flops; nothing to instrument"
@@ -61,6 +70,10 @@ def instrument_time_multiplexed(original: Netlist) -> InstrumentedCircuit:
     load_state = netlist.add_input("tm_load_state")
     inject = netlist.add_input("tm_inject")
     reset_all = netlist.add_input("tm_rst")
+    force_enable = force_value = ""
+    if persistent:
+        force_enable = netlist.add_input("tm_force")
+        force_value = netlist.add_input("tm_force_val")
     not_reset = emitter.gate("inv", [reset_all])
 
     diff_bits = []
@@ -92,6 +105,11 @@ def instrument_time_multiplexed(original: Netlist) -> InstrumentedCircuit:
         injected_state = emitter.gate("xor", [state_q, flip])
         faulty_run = emitter.gate("mux2", [ena_faulty, faulty_q, dff.d])
         faulty_d = emitter.gate("mux2", [load_state, faulty_run, injected_state])
+        if persistent:
+            # force override: the FAULTY flop captures tm_force_val
+            # while the mask bit and tm_force are both high.
+            forced = emitter.gate("and", [mask_q, force_enable])
+            faulty_d = emitter.gate("mux2", [forced, faulty_d, force_value])
         netlist.add_dff(f"tm$faulty[{index}]", faulty_d, faulty_q, dff.init)
 
         # The shared combinational fabric sees golden or faulty values
@@ -115,6 +133,9 @@ def instrument_time_multiplexed(original: Netlist) -> InstrumentedCircuit:
         "set": set_enable,
         "reset": reset_all,
     }
+    if persistent:
+        control_inputs["force"] = force_enable
+        control_inputs["force_value"] = force_value
     for net in address_inputs:
         control_inputs[net] = net
     return InstrumentedCircuit(

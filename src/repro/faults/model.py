@@ -5,12 +5,21 @@ memory elements are affected, and a fault is the pair (flip-flop, clock
 cycle). The *complete set of single faults* for a circuit with N flops and
 a T-cycle testbench therefore has N x T members — 215 x 160 = 34,400 for
 the b14 experiment.
+
+:class:`SeuFault` doubles as the base class for every other fault model
+(:mod:`repro.faults.models`): a fault is, generically, a set of one-shot
+bit *flips* at its injection cycle plus an optional per-cycle *force* on
+its flop. The grading engines consume exactly that protocol
+(:meth:`SeuFault.flip_flops`, :meth:`SeuFault.force_value`,
+:meth:`SeuFault.force_active`), so plain SEUs keep their original
+fast path while multi-bit, stuck-at and intermittent faults share the
+same campaign machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import CampaignError
 from repro.netlist.netlist import Netlist
@@ -30,6 +39,12 @@ class SeuFault:
     flop_index: int
     flop_name: str = ""
 
+    #: True for models whose effect is re-applied every cycle (stuck-at,
+    #: intermittent) rather than a one-shot state perturbation. Persistent
+    #: faults can re-diverge after matching the golden state, so engines
+    #: must not retire their lanes early.
+    persistent = False
+
     def __post_init__(self) -> None:
         if self.cycle < 0:
             raise CampaignError(f"fault cycle must be non-negative, got {self.cycle}")
@@ -37,6 +52,38 @@ class SeuFault:
             raise CampaignError(
                 f"fault flop index must be non-negative, got {self.flop_index}"
             )
+
+    # ------------------------------------------------------------------
+    # the generic injection protocol (overridden by other fault models)
+    # ------------------------------------------------------------------
+    def flip_flops(self) -> Tuple[int, ...]:
+        """Flop indices whose bits are flipped once, at ``self.cycle``."""
+        return (self.flop_index,)
+
+    def force_value(self) -> Optional[int]:
+        """The value this fault forces onto its flop (None: no forcing)."""
+        return None
+
+    def force_active(self, cycle: int) -> bool:
+        """Whether the force is applied during ``cycle`` (state held at
+        the start of that cycle). Transient faults never force."""
+        return False
+
+    def force_events(self, num_cycles: int) -> List[Tuple[int, bool]]:
+        """``(cycle, turned_on)`` transitions of the force over cycles
+        ``0..num_cycles`` inclusive — ``num_cycles`` covers the state the
+        circuit is left in after the bench, which classification compares
+        against the golden final state."""
+        return []
+
+    def apply_force(self, state: int, cycle: int) -> int:
+        """Packed-state helper for the serial reference replay."""
+        if not self.force_active(cycle):
+            return state
+        bit = 1 << self.flop_index
+        if self.force_value():
+            return state | bit
+        return state & ~bit
 
     def describe(self) -> str:
         """Human-readable fault identity."""

@@ -1,0 +1,44 @@
+"""Pluggable fault models.
+
+The registry maps model names to :class:`~repro.faults.models.base.FaultModel`
+instances:
+
+* ``seu``                        — the paper's transient single-bit flip
+* ``mbu`` / ``mbu:<k>``          — transient k-adjacent-bit upset (default 2)
+* ``stuck_at_0`` / ``stuck_at_1`` — permanent stuck-at from onset cycle
+* ``intermittent`` / ``intermittent:<period>:<duty>``
+                                 — duty-cycle forcing fault
+
+Campaign specs, the CLI (``--fault-model``) and the grading engines all
+select models through :func:`get_fault_model`. See
+``docs/fault_models.md`` for the per-backend injection semantics.
+"""
+
+from repro.faults.models.base import (
+    FaultModel,
+    available_models,
+    get_fault_model,
+    register_model,
+    register_model_prefix,
+)
+from repro.faults.models.intermittent import IntermittentFault, IntermittentModel
+from repro.faults.models.mbu import MbuFault, MbuModel
+from repro.faults.models.seu import SeuModel
+from repro.faults.models.stuck import StuckAtFault
+
+DEFAULT_FAULT_MODEL = "seu"
+
+__all__ = [
+    "DEFAULT_FAULT_MODEL",
+    "FaultModel",
+    "IntermittentFault",
+    "IntermittentModel",
+    "MbuFault",
+    "MbuModel",
+    "SeuModel",
+    "StuckAtFault",
+    "available_models",
+    "get_fault_model",
+    "register_model",
+    "register_model_prefix",
+]

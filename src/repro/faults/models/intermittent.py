@@ -1,0 +1,158 @@
+"""Intermittent duty-cycle faults.
+
+Intermittent faults — marginal hardware, aging, crosstalk — assert and
+release repeatedly: from its onset cycle the fault forces the flop to a
+value for ``duty`` cycles out of every ``period``, then releases it. They
+are the hardest class for an injection platform because the forcing mask
+must be re-applied (and removed) on a schedule, not once; the grading
+engines model this with per-cycle force masks, and the emulated mask-scan
+instrument with a held force enable.
+
+The population is every (onset cycle, flop) pair, forcing toward the
+flop's *inverted reset value* is deliberately avoided: like stuck-at, the
+forced value is a model parameter (default 1), so a campaign can probe
+both polarities with two runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.faults.model import SeuFault
+from repro.faults.models.base import (
+    FaultModel,
+    register_model_prefix,
+)
+from repro.netlist.netlist import Netlist
+
+DEFAULT_PERIOD = 4
+DEFAULT_DUTY = 2
+
+
+@dataclass(frozen=True, order=True)
+class IntermittentFault(SeuFault):
+    """Force ``flop_index`` to ``value`` during cycles ``t >= cycle``
+    where ``(t - cycle) % period < duty``."""
+
+    value: int = 1
+    period: int = DEFAULT_PERIOD
+    duty: int = DEFAULT_DUTY
+
+    persistent = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.value not in (0, 1):
+            raise CampaignError(
+                f"intermittent value must be 0 or 1, got {self.value}"
+            )
+        if self.period < 2:
+            raise CampaignError(
+                f"intermittent period must be at least 2, got {self.period}"
+            )
+        if not 1 <= self.duty < self.period:
+            raise CampaignError(
+                f"intermittent duty must be in [1, period), got {self.duty}"
+            )
+
+    def flip_flops(self) -> Tuple[int, ...]:
+        return ()
+
+    def force_value(self) -> Optional[int]:
+        return self.value
+
+    def force_active(self, cycle: int) -> bool:
+        if cycle < self.cycle:
+            return False
+        return (cycle - self.cycle) % self.period < self.duty
+
+    def force_events(self, num_cycles: int) -> List[Tuple[int, bool]]:
+        events = []
+        start = self.cycle
+        while start <= num_cycles:
+            events.append((start, True))
+            release = start + self.duty
+            if release <= num_cycles:
+                events.append((release, False))
+            start += self.period
+        return events
+
+    def describe(self) -> str:
+        name = self.flop_name or f"flop[{self.flop_index}]"
+        return (
+            f"INT{self.value}({name} @ cycle {self.cycle}.., "
+            f"{self.duty}/{self.period})"
+        )
+
+
+class IntermittentModel(FaultModel):
+    """Duty-cycle forcing fault."""
+
+    transient = False
+
+    def __init__(
+        self,
+        period: int = DEFAULT_PERIOD,
+        duty: int = DEFAULT_DUTY,
+        value: int = 1,
+    ):
+        # Fault construction validates the parameters; build one early so
+        # bad model names fail at spec time, not mid-campaign.
+        IntermittentFault(cycle=0, flop_index=0, value=value, period=period, duty=duty)
+        self.period = period
+        self.duty = duty
+        self.value = value
+        self.name = f"intermittent:{period}:{duty}"
+
+    def population(
+        self, netlist: Netlist, num_cycles: int
+    ) -> List[IntermittentFault]:
+        if num_cycles <= 0:
+            raise CampaignError("fault list needs a positive number of cycles")
+        names = netlist.ff_names()
+        return [
+            IntermittentFault(
+                cycle=cycle,
+                flop_index=index,
+                flop_name=name,
+                value=self.value,
+                period=self.period,
+                duty=self.duty,
+            )
+            for cycle in range(num_cycles)
+            for index, name in enumerate(names)
+        ]
+
+    def population_size(self, netlist: Netlist, num_cycles: int) -> int:
+        return netlist.num_ffs * num_cycles
+
+    def describe(self) -> str:
+        return (
+            f"intermittent stuck-at-{self.value}: forced {self.duty} of "
+            f"every {self.period} cycles from onset"
+        )
+
+
+def _parse_intermittent(name: str) -> IntermittentModel:
+    parts = name.split(":")
+    if len(parts) == 1:
+        return IntermittentModel()
+    if len(parts) != 3:
+        raise CampaignError(
+            f"bad intermittent model {name!r}; expected intermittent or "
+            "intermittent:<period>:<duty>"
+        )
+    try:
+        period, duty = int(parts[1]), int(parts[2])
+    except ValueError:
+        raise CampaignError(
+            f"bad intermittent parameters in {name!r}; expected integers"
+        ) from None
+    return IntermittentModel(period=period, duty=duty)
+
+
+register_model_prefix(
+    "intermittent", _parse_intermittent, syntax="intermittent:<period>:<duty>"
+)

@@ -1,25 +1,32 @@
 """The ``python -m repro`` command line.
 
-Four subcommands replace the plumbing the example scripts used to carry:
+Five subcommands replace the plumbing the example scripts used to carry:
 
 * ``run``    — one campaign: build a spec, grade it sharded (resuming
   from ``runs/<campaign-id>/`` when present), print the paper-style
-  summary and cycle breakdown.
+  summary and cycle breakdown. Sampled campaigns (``--sample`` /
+  ``--ci-target``) additionally report per-class confidence intervals.
 * ``sweep``  — circuits x techniques x engines; renders a Table-2-style
   table per circuit (with the paper's reference numbers for b14 at
   paper scale) from one shared oracle per circuit.
 * ``report`` — the full paper reproduction (Tables 1-2, classification,
   speedup, Figure 1, optional crossover) for any registered circuit.
+* ``sampling-error`` — sampled vs exhaustive classification rates with
+  interval-coverage checks (``eval/sampling_error.py``).
 * ``bench``  — wall-clock of the sharded runner at several worker
   counts; the orchestration-overhead row of the perf trajectory.
 
-Every subcommand accepts the spec fields as flags, so any campaign the
-library can describe can be launched, resumed and reported from the
-shell::
+Every subcommand accepts the spec fields as flags — including
+``--fault-model`` (seu, mbu:<k>, stuck_at_0/1, intermittent[:p:d]) and
+``--sampling`` (uniform / stratified) — so any campaign the library can
+describe can be launched, resumed and reported from the shell::
 
     python -m repro run --circuit b04 --technique time_multiplexed
+    python -m repro run --circuit b04 --fault-model stuck_at_1 --sample 500
+    python -m repro run --circuit b14 --sample 500 --ci-target 0.03
     python -m repro sweep --circuits b14 --workers 4
     python -m repro report --circuit b09 --no-crossover
+    python -m repro sampling-error --circuits b04 b06
     python -m repro bench --workers 1 4
 """
 
@@ -35,6 +42,13 @@ from typing import List, Optional
 from repro.emu.board import BOARDS
 from repro.emu.instrument import TECHNIQUES
 from repro.errors import ReproError
+from repro.faults.classify import FaultClass
+from repro.faults.models import DEFAULT_FAULT_MODEL, available_models
+from repro.faults.sampling import (
+    CI_METHODS,
+    SAMPLING_METHODS,
+    SampleEstimate,
+)
 from repro.run.runner import CampaignRunner, default_pool_workers
 from repro.run.spec import TESTBENCH_KINDS, CampaignSpec
 from repro.sim.backends import available_engines
@@ -103,10 +117,21 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, single: bool) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--fault-model",
+        default=DEFAULT_FAULT_MODEL,
+        help="fault model to inject: " + ", ".join(available_models()),
+    )
+    parser.add_argument(
         "--sample",
         type=int,
         default=None,
         help="grade a deterministic fault sample instead of the complete set",
+    )
+    parser.add_argument(
+        "--sampling",
+        default="uniform",
+        choices=SAMPLING_METHODS,
+        help="how --sample draws faults (stratified = proportional per flop)",
     )
     parser.add_argument("--scan-chains", type=int, default=1)
     parser.add_argument(
@@ -168,7 +193,23 @@ def _spec_from(args: argparse.Namespace) -> CampaignSpec:
         seed=args.seed,
         sample=args.sample,
         scan_chains=args.scan_chains,
+        fault_model=args.fault_model,
+        sampling=args.sampling,
     )
+
+
+def _print_estimates(
+    estimates, population: int, spec: CampaignSpec, args
+) -> None:
+    """Per-class confidence intervals of a sampled campaign."""
+    trials = next(iter(estimates.values())).trials
+    print(
+        f"  sampled {trials}/{population} {spec.fault_model} faults "
+        f"({spec.sampling}, {args.ci_method} @"
+        f"{int(args.confidence * 100)}%):"
+    )
+    for fault_class in FaultClass:
+        print(f"    {fault_class.value:>8}: {estimates[fault_class].describe()}")
 
 
 # ----------------------------------------------------------------------
@@ -178,7 +219,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from(args)
     runner = _runner_from(args)
     started = time.perf_counter()
-    result = runner.run(spec)
+    estimates = None
+    adaptive_rounds = None
+    if args.ci_target is not None:
+        adaptive = runner.run_adaptive(
+            spec,
+            target_half_width=args.ci_target,
+            confidence=args.confidence,
+            ci_method=args.ci_method,
+        )
+        spec = adaptive.spec
+        estimates = adaptive.estimates
+        adaptive_rounds = adaptive.rounds
+        result = runner.run(spec, oracle=adaptive.oracle)
+    else:
+        result = runner.run(spec)
     elapsed = time.perf_counter() - started
     breakdown = result.breakdown
     print(result.summary())
@@ -189,6 +244,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f" {key}={value:,}" for key, value in breakdown.extra.items()
         )
     )
+    population = None
+    if spec.sample is not None or estimates is not None:
+        from repro.run import worker
+
+        population = spec.population_size(worker.scenario_for(spec).netlist)
+        if estimates is None:
+            estimates = {
+                fault_class: SampleEstimate(
+                    successes=count,
+                    trials=result.num_faults,
+                    confidence=args.confidence,
+                    method=args.ci_method,
+                )
+                for fault_class, count in result.dictionary.counts().items()
+            }
+        _print_estimates(estimates, population, spec, args)
+        if adaptive_rounds is not None:
+            trail = " -> ".join(
+                f"{count} ({width:.4f})" for count, width in adaptive_rounds
+            )
+            print(
+                f"  adaptive: target half-width {args.ci_target:.4f}, "
+                f"rounds {trail}"
+            )
     if not args.no_store:
         print(f"  store: {os.path.join(args.store, spec.campaign_id)}")
     print(f"  wall clock: {elapsed:.3f}s ({args.workers} worker(s))")
@@ -205,6 +284,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             },
             "wall_seconds": round(elapsed, 4),
         }
+        if estimates is not None:
+            payload["population"] = population
+            payload["estimates"] = {
+                fault_class.value: {
+                    "proportion": round(estimate.proportion, 6),
+                    "interval": [round(v, 6) for v in estimate.interval],
+                    "confidence": estimate.confidence,
+                    "method": estimate.method,
+                }
+                for fault_class, estimate in estimates.items()
+            }
+        if adaptive_rounds is not None:
+            payload["adaptive_rounds"] = [
+                [count, round(width, 6)] for count, width in adaptive_rounds
+            ]
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
@@ -232,6 +326,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             sample=args.sample,
             scan_chains=args.scan_chains,
+            fault_model=args.fault_model,
+            sampling=args.sampling,
         )
         results = runner.sweep(specs)
         table = Table(
@@ -257,6 +353,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             circuit == "b14"
             and args.cycles in (None, 160)
             and args.sample is None
+            and args.fault_model == "seu"
             and args.testbench in ("auto", "program")
             and args.seed == 0
         )
@@ -298,6 +395,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"  fastest technique on {args.circuit}: {fastest} "
         f"({'matches paper' if fastest == 'time_multiplexed' else 'differs!'})"
     )
+    return 0
+
+
+def _cmd_sampling_error(args: argparse.Namespace) -> int:
+    from repro.eval.sampling_error import sampling_error_report
+
+    runner = _runner_from(args)
+    report = sampling_error_report(
+        circuits=args.circuits,
+        samples=args.samples,
+        fault_model=args.fault_model,
+        sampling=args.sampling,
+        seed=args.seed,
+        num_cycles=args.cycles,
+        confidence=args.confidence,
+        ci_method=args.ci_method,
+        runner=runner,
+    )
+    print(report.render())
     return 0
 
 
@@ -373,6 +489,26 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(run_parser, single=True)
     _add_runner_arguments(run_parser)
     run_parser.add_argument(
+        "--ci-target",
+        type=float,
+        default=None,
+        metavar="HALF_WIDTH",
+        help="adaptive sampling: grow the sample until every class "
+        "interval's half-width is at most this (e.g. 0.03)",
+    )
+    run_parser.add_argument(
+        "--ci-method",
+        default="wilson",
+        choices=CI_METHODS,
+        help="confidence-interval construction for sampled campaigns",
+    )
+    run_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for sampled-campaign intervals",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="also print a JSON record"
     )
     run_parser.set_defaults(func=_cmd_run)
@@ -400,6 +536,39 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--no-crossover", action="store_true")
     _add_runner_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    sampling_parser = commands.add_parser(
+        "sampling-error",
+        help="table: sampled vs exhaustive classification rates",
+    )
+    sampling_parser.add_argument(
+        "--circuits",
+        nargs="+",
+        default=["b04", "b06", "b14"],
+        help="registered circuits to compare on",
+    )
+    sampling_parser.add_argument(
+        "--samples",
+        type=int,
+        nargs="+",
+        default=[200, 500, 1000],
+        help="sample sizes to grade against the exhaustive campaign",
+    )
+    sampling_parser.add_argument(
+        "--fault-model", default=DEFAULT_FAULT_MODEL,
+        help="fault model to inject",
+    )
+    sampling_parser.add_argument(
+        "--sampling", default="uniform", choices=SAMPLING_METHODS
+    )
+    sampling_parser.add_argument("--cycles", type=int, default=None)
+    sampling_parser.add_argument("--seed", type=int, default=0)
+    sampling_parser.add_argument(
+        "--ci-method", default="wilson", choices=CI_METHODS
+    )
+    sampling_parser.add_argument("--confidence", type=float, default=0.95)
+    _add_runner_arguments(sampling_parser)
+    sampling_parser.set_defaults(func=_cmd_sampling_error)
 
     bench_parser = commands.add_parser(
         "bench", help="time the sharded runner at several worker counts"

@@ -29,14 +29,20 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import repro
 from repro.emu.board import BoardModel
 from repro.emu.campaign import CampaignResult, run_campaign
 from repro.errors import CampaignError
+from repro.faults.classify import FaultClass
 from repro.faults.model import SeuFault
+from repro.faults.sampling import (
+    AdaptiveSampler,
+    SampleEstimate,
+    classification_estimates,
+)
 from repro.netlist.netlist import Netlist
 from repro.run import worker
 from repro.run.spec import CampaignSpec, Scenario
@@ -53,6 +59,26 @@ from repro.sim.vectors import Testbench
 #: granularity that resume rarely repeats much work, coarse enough that
 #: per-shard overhead stays negligible.
 SHARDS_PER_WORKER = 4
+
+
+@dataclass
+class AdaptiveCampaign:
+    """Outcome of an adaptive sampled campaign.
+
+    ``spec`` is the final round's spec (its ``sample`` field holds the
+    terminating sample size); ``estimates`` the per-class proportions
+    with confidence intervals at that size; ``rounds`` every
+    ``(sample_size, worst_half_width)`` pair the sampler visited; and
+    ``exhausted`` whether termination came from sampling the entire
+    population rather than reaching the target half-width.
+    """
+
+    spec: "CampaignSpec"
+    oracle: FaultGradingResult
+    estimates: Dict[FaultClass, SampleEstimate]
+    rounds: List[Tuple[int, float]]
+    target_half_width: float
+    exhausted: bool
 
 
 def default_pool_workers() -> int:
@@ -150,6 +176,7 @@ class CampaignRunner:
                 spec.campaign_id,
                 [(w.start_cycle, w.end_cycle) for w in windows],
                 fresh=not self.resume,
+                fault_key=spec.fault_key(),
             )
             # A store graded under another plan (e.g. a different worker
             # count last time) keeps its plan; completed shards stay
@@ -324,6 +351,66 @@ class CampaignRunner:
             scan_chains=spec.scan_chains,
             engine=spec.engine,
         )
+
+    def run_adaptive(
+        self,
+        spec: CampaignSpec,
+        target_half_width: float,
+        confidence: float = 0.95,
+        ci_method: str = "wilson",
+        initial: int = 100,
+        growth: float = 2.0,
+        max_sample: Optional[int] = None,
+    ) -> AdaptiveCampaign:
+        """Sample until every class interval reaches ``target_half_width``.
+
+        Each round grades ``replace(spec, sample=n)`` through the normal
+        sharded (and store-backed) path — every round is an ordinary
+        campaign with its own campaign id, so interrupted adaptive runs
+        resume their current round's shards like any other campaign. The
+        sample grows geometrically (see
+        :class:`~repro.faults.sampling.AdaptiveSampler`) and is capped at
+        the population, so the loop always terminates: with a tight
+        target on a small circuit it simply becomes the exhaustive
+        campaign, whose "estimate" is the true proportion.
+        """
+        netlist = spec.build_netlist()
+        population = spec.population_size(netlist)
+        sampler = AdaptiveSampler(
+            population=population,
+            target_half_width=target_half_width,
+            initial=spec.sample or initial,
+            growth=growth,
+            max_count=max_sample,
+        )
+        while True:
+            count = sampler.count
+            # The exhaustive round is the plain unsampled campaign — it
+            # shares its store with any existing exhaustive run.
+            current = replace(
+                spec, sample=None if count == population else count
+            )
+            oracle = self.grade(current)
+            estimates = classification_estimates(
+                oracle.verdicts(), confidence=confidence, method=ci_method
+            )
+            next_count = sampler.next_count(estimates)
+            if self.progress:
+                width = sampler.rounds[-1][1]
+                self.progress(
+                    f"[adaptive] n={count}: worst half-width "
+                    f"{width:.4f} (target {target_half_width:.4f})"
+                    + ("" if next_count is None else f" -> growing to {next_count}")
+                )
+            if next_count is None:
+                return AdaptiveCampaign(
+                    spec=current,
+                    oracle=oracle,
+                    estimates=estimates,
+                    rounds=list(sampler.rounds),
+                    target_half_width=target_half_width,
+                    exhausted=sampler.exhausted,
+                )
 
     def sweep(
         self,

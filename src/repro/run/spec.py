@@ -27,8 +27,9 @@ from repro.circuits.registry import build_circuit
 from repro.emu.board import BoardModel, board_by_name
 from repro.emu.instrument import TECHNIQUES
 from repro.errors import CampaignError
-from repro.faults.model import SeuFault, exhaustive_fault_list
-from repro.faults.sampling import sample_fault_list
+from repro.faults.model import SeuFault
+from repro.faults.models import DEFAULT_FAULT_MODEL, FaultModel, get_fault_model
+from repro.faults.sampling import SAMPLING_METHODS, draw_sample
 from repro.netlist.netlist import Netlist
 from repro.sim.parallel import DEFAULT_BACKEND
 from repro.sim.vectors import (
@@ -94,10 +95,13 @@ class CampaignSpec:
 
     ``circuit`` names a :mod:`repro.circuits.registry` entry (including
     the parameterized ``proc:<flops>`` family). ``num_cycles`` of ``None``
-    means the circuit's paper/default length. ``sample`` of ``None`` means
-    the complete single-fault set; a positive value draws that many faults
-    deterministically from it. All fields are plain values so a spec
-    round-trips through JSON unchanged.
+    means the circuit's paper/default length. ``fault_model`` names a
+    :mod:`repro.faults.models` registry entry (``seu``, ``mbu:<k>``,
+    ``stuck_at_0/1``, ``intermittent[:p:d]``). ``sample`` of ``None``
+    means the model's complete fault set; a positive value draws that
+    many faults deterministically from it with the named ``sampling``
+    method (``uniform`` or ``stratified`` by flop). All fields are plain
+    values so a spec round-trips through JSON unchanged.
     """
 
     circuit: str
@@ -109,6 +113,8 @@ class CampaignSpec:
     seed: int = 0
     sample: Optional[int] = None
     scan_chains: int = 1
+    fault_model: str = DEFAULT_FAULT_MODEL
+    sampling: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.technique not in TECHNIQUES:
@@ -127,6 +133,12 @@ class CampaignSpec:
             raise CampaignError("sample must be positive")
         if self.scan_chains < 1:
             raise CampaignError("scan_chains must be at least 1")
+        if self.sampling not in SAMPLING_METHODS:
+            raise CampaignError(
+                f"unknown sampling method {self.sampling!r}; expected one "
+                f"of {SAMPLING_METHODS}"
+            )
+        get_fault_model(self.fault_model)  # fail early on unknown models
         board_by_name(self.board)  # fail early on unknown boards
 
     # ------------------------------------------------------------------
@@ -170,10 +182,24 @@ class CampaignSpec:
             return walking_ones_testbench(netlist, cycles)
         return constant_testbench(netlist, cycles)
 
+    def fault_model_obj(self) -> FaultModel:
+        """The registered fault model this spec injects."""
+        return get_fault_model(self.fault_model)
+
+    def population_size(self, netlist: Netlist) -> int:
+        """Size of the complete fault set (before sampling)."""
+        return self.fault_model_obj().population_size(
+            netlist, self.resolved_cycles()
+        )
+
     def build_faults(self, netlist: Netlist) -> List[SeuFault]:
-        faults = exhaustive_fault_list(netlist, self.resolved_cycles())
+        faults = self.fault_model_obj().population(
+            netlist, self.resolved_cycles()
+        )
         if self.sample is not None:
-            faults = sample_fault_list(faults, self.sample, seed=self.seed)
+            faults = draw_sample(
+                faults, self.sample, seed=self.seed, method=self.sampling
+            )
         return faults
 
     def scenario(self) -> Scenario:
@@ -218,6 +244,23 @@ class CampaignSpec:
             "num_cycles": self.resolved_cycles(),
             "seed": self.seed,
             "sample": self.sample,
+            "fault_model": self.fault_model,
+            "sampling": self.sampling,
+        }
+
+    def fault_key(self) -> Dict:
+        """The fields determining *which faults* a campaign injects.
+
+        A subset of :meth:`oracle_key`, recorded separately in the
+        results-store manifest so a resumed store can refuse — with a
+        precise message — to adopt shards graded under a different fault
+        model or sampling configuration.
+        """
+        return {
+            "fault_model": self.fault_model,
+            "sampling": self.sampling,
+            "sample": self.sample,
+            "seed": self.seed,
         }
 
     @property

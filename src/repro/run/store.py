@@ -27,7 +27,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignError
 
-STORE_VERSION = 1
+#: Bumped to 2 when the manifest gained the ``fault`` section (fault
+#: model + sampling identity). Older stores predate the fault-model
+#: subsystem and cannot prove what they graded, so they are refused.
+STORE_VERSION = 2
 MANIFEST_FILE = "spec.json"
 SHARDS_FILE = "shards.jsonl"
 
@@ -102,6 +105,7 @@ class ResultsStore:
         campaign_id: str,
         windows: Sequence[Tuple[int, int]],
         fresh: bool = False,
+        fault_key: Optional[Dict] = None,
     ) -> "ResultsStore":
         """Open (creating if needed) the store for one campaign.
 
@@ -114,6 +118,13 @@ class ResultsStore:
         any existing records and re-pins the proposed plan. A store for
         a different *oracle* (different circuit/stimulus/faults) is an
         error.
+
+        ``fault_key`` (fault model, sampling method, sample size, seed)
+        is recorded in the manifest and re-validated field by field on
+        resume: shard records are meaningless under a different fault
+        population, and the mismatch message must say *what* differs —
+        a generic "different configuration" would leave the operator
+        diffing JSON by hand.
         """
         directory = os.path.join(root, campaign_id)
         os.makedirs(directory, exist_ok=True)
@@ -122,6 +133,7 @@ class ResultsStore:
         manifest = {
             "version": STORE_VERSION,
             "oracle": oracle_key,
+            "fault": fault_key,
             "windows": [list(pair) for pair in proposed],
         }
         existing = store._read_manifest()
@@ -130,10 +142,16 @@ class ResultsStore:
             store._write_manifest(manifest)
             store.windows = proposed
             return store
-        if (
-            existing.get("version") != STORE_VERSION
-            or existing.get("oracle") != oracle_key
-        ):
+        if existing.get("version") != STORE_VERSION:
+            raise CampaignError(
+                f"results store {directory} was written by store format "
+                f"version {existing.get('version')!r} (this build writes "
+                f"{STORE_VERSION}); its shards cannot be trusted to match "
+                "the current fault population — delete the store directory "
+                "or rerun with --no-resume to regrade"
+            )
+        store._check_fault_key(existing.get("fault"), fault_key, directory)
+        if existing.get("oracle") != oracle_key:
             raise CampaignError(
                 f"results store {directory} was created for a different "
                 "campaign configuration; delete it (or pick another "
@@ -142,6 +160,36 @@ class ResultsStore:
         stored = existing.get("windows") or []
         store.windows = [(int(start), int(end)) for start, end in stored]
         return store
+
+    @staticmethod
+    def _check_fault_key(
+        stored: Optional[Dict], requested: Optional[Dict], directory: str
+    ) -> None:
+        """Refuse to adopt shards graded under a different fault model or
+        sampling configuration, naming each differing field."""
+        if stored is None or requested is None:
+            if stored != requested:
+                raise CampaignError(
+                    f"results store {directory} does not record the same "
+                    "fault-population identity as this campaign; delete "
+                    "the store directory or rerun with --no-resume to "
+                    "regrade"
+                )
+            return
+        differing = [
+            f"{field_name}: store has {stored.get(field_name)!r}, campaign "
+            f"wants {requested.get(field_name)!r}"
+            for field_name in sorted(set(stored) | set(requested))
+            if stored.get(field_name) != requested.get(field_name)
+        ]
+        if differing:
+            raise CampaignError(
+                f"results store {directory} holds shards graded under a "
+                "different fault population (" + "; ".join(differing) + "); "
+                "its fail/vanish records cannot be merged into this "
+                "campaign — delete the store directory, choose another "
+                "--store root, or rerun with --no-resume to regrade"
+            )
 
     @property
     def manifest_path(self) -> str:

@@ -50,6 +50,7 @@ import numpy as np
 from repro.faults.model import SeuFault
 from repro.sim.backends._native import native_kernel
 from repro.sim.backends.base import GradingEngine, register_engine
+from repro.sim.inject import schedule_for
 from repro.sim.compile import (
     OP_AND,
     OP_BUF,
@@ -443,6 +444,27 @@ def _instantiate(program: FusedProgram, num_words: int) -> tuple:
     return instance
 
 
+def _exec_plan(plan: List[tuple], values: np.ndarray) -> None:
+    """Execute one cycle's worth of prepared kernel steps."""
+    bitwise_xor = np.bitwise_xor
+    bitwise_and = np.bitwise_and
+    for step in plan:
+        tag = step[0]
+        if tag == _P_BIN:
+            step[1](step[2], step[3], out=step[4])
+        elif tag == _P_GATHER:
+            values.take(step[1], 0, step[2])
+        elif tag == _P_BININV:
+            view = step[4]
+            step[1](step[2], step[3], out=view)
+            bitwise_xor(view, step[5], out=view)
+        else:  # _P_MUX: out = d0 ^ (select & (d0 ^ d1))
+            view = step[4]
+            bitwise_xor(step[2], step[3], out=view)
+            bitwise_and(view, step[1], out=view)
+            bitwise_xor(view, step[2], out=view)
+
+
 def _mask_rows(words: Sequence[int], num_bits: int) -> np.ndarray:
     """Expand packed golden words into per-bit uint64 mask rows (0 / ~0)."""
     rows = np.zeros((len(words), num_bits), dtype=np.uint64)
@@ -508,6 +530,10 @@ class FusedEngine(GradingEngine):
         num_words = (num_faults + 63) // 64
         num_cycles = testbench.num_cycles
 
+        schedule = schedule_for(faults, num_cycles, len(program.q_slots))
+        if not schedule.simple:
+            return self._grade_general(program, testbench, golden, schedule)
+
         lanes = _LaneOrder(program, faults, num_cycles)
 
         # Golden words pre-unpacked to mask rows, once per grade call.
@@ -548,6 +574,158 @@ class FusedEngine(GradingEngine):
         vanish_cycle = np.empty(num_faults, dtype=np.int64)
         fail_cycle[lanes.order] = fail_sorted
         vanish_cycle[lanes.order] = vanish_sorted
+        return fail_cycle.tolist(), vanish_cycle.tolist()
+
+    # ------------------------------------------------------------------
+    # generic path: non-SEU fault models (multi-flop flips, per-cycle
+    # force re-application, final-suffix vanish semantics)
+    # ------------------------------------------------------------------
+    def _grade_general(
+        self,
+        program: FusedProgram,
+        testbench: Testbench,
+        golden: GoldenTrace,
+        schedule,
+    ) -> Tuple[List[int], List[int]]:
+        """Full-width grading over the prepared numpy plan.
+
+        Persistent faults are incompatible with the legacy path's two
+        core optimizations — lane retirement (a forced lane can
+        re-diverge) and the one-shot injection XOR — so this branch runs
+        every fault lane through every cycle, re-applying the force
+        bit-planes to the held state each cycle, and tracks vanish as the
+        start of the final golden-equal suffix. Transient (MBU) schedules
+        still early-exit once every lane has re-converged.
+        """
+        num_faults = schedule.num_faults
+        num_cycles = testbench.num_cycles
+        num_words = (num_faults + 63) // 64
+        num_flops = len(program.q_slots)
+
+        in_masks = _mask_rows(testbench.vectors, program.num_inputs)
+        out_masks = _mask_rows(golden.outputs, len(program.output_slots))
+        state_masks = _mask_rows(golden.states, num_flops)
+
+        values, plan, out_buffer, d_buffer = _instantiate(program, num_words)
+        input_view = values[0 : program.num_inputs]
+        q_view = values[program.q_start : program.q_stop]
+        q_view[:] = state_masks[0][:, None]
+
+        valid = np.full(num_words, _ONES, dtype=np.uint64)
+        if num_faults % 64:
+            valid[-1] = np.uint64((1 << (num_faults % 64)) - 1)
+
+        fail_cycle = np.full(num_faults, -1, dtype=np.int64)
+        vanish_cycle = np.full(num_faults, -1, dtype=np.int64)
+        injected = np.zeros(num_words, dtype=np.uint64)
+        not_failed = valid.copy()
+        no_candidate = valid.copy()
+
+        force_mask = np.zeros((num_flops, num_words), dtype=np.uint64)
+        force_set = np.zeros((num_flops, num_words), dtype=np.uint64)
+        forcing = False
+
+        activations: Dict[int, np.ndarray] = {}
+        lane_groups: Dict[int, List[int]] = {}
+        for lane, cycle in enumerate(schedule.first_active):
+            lane_groups.setdefault(cycle, []).append(lane)
+        for cycle, lanes_at in lane_groups.items():
+            mask = np.zeros(num_words, dtype=np.uint64)
+            for lane in lanes_at:
+                mask[lane >> 6] |= np.uint64(1 << (lane & 63))
+            activations[cycle] = mask
+        last_activation = max(lane_groups) if lane_groups else -1
+
+        bitwise_xor = np.bitwise_xor
+        bitwise_or_reduce = np.bitwise_or.reduce
+
+        def apply_cycle_events(cycle: int) -> None:
+            nonlocal forcing
+            for flop_index, lane in schedule.flips.get(cycle, ()):
+                q_view[flop_index, lane >> 6] ^= np.uint64(1 << (lane & 63))
+            for flop_index, lane, value in schedule.force_on.get(cycle, ()):
+                bit = np.uint64(1 << (lane & 63))
+                force_mask[flop_index, lane >> 6] |= bit
+                if value:
+                    force_set[flop_index, lane >> 6] |= bit
+                forcing = True
+            for flop_index, lane in schedule.force_off.get(cycle, ()):
+                bit = np.uint64(1 << (lane & 63))
+                force_mask[flop_index, lane >> 6] &= ~bit
+                force_set[flop_index, lane >> 6] &= ~bit
+            if forcing:
+                np.bitwise_and(q_view, ~force_mask, out=q_view)
+                np.bitwise_or(q_view, force_set, out=q_view)
+
+        def update_vanish(cycle: int, end_cycle: int) -> None:
+            """Vanished-by-``end_cycle`` bookkeeping: compare the state
+            held during ``cycle`` against its golden counterpart."""
+            bitwise_xor(q_view, state_masks[cycle][:, None], out=d_buffer)
+            state_diff = bitwise_or_reduce(d_buffer, axis=0)
+            conv = ~state_diff & injected
+            newly = conv & no_candidate
+            if newly.any():
+                bits = np.unpackbits(newly.view(np.uint8), bitorder="little")
+                vanish_cycle[np.nonzero(bits)[0]] = end_cycle
+                np.bitwise_and(no_candidate, ~newly, out=no_candidate)
+            lost = state_diff & injected & ~no_candidate
+            if lost.any():
+                bits = np.unpackbits(lost.view(np.uint8), bitorder="little")
+                vanish_cycle[np.nonzero(bits)[0]] = -1
+                np.bitwise_or(no_candidate, lost, out=no_candidate)
+
+        for cycle in range(num_cycles):
+            apply_cycle_events(cycle)
+            if cycle > 0:
+                update_vanish(cycle, cycle - 1)
+            mask = activations.get(cycle)
+            if mask is not None:
+                np.bitwise_or(injected, mask, out=injected)
+
+            input_view[:] = in_masks[cycle][:, None]
+            _exec_plan(plan, values)
+
+            values.take(program.output_slots, 0, out_buffer)
+            bitwise_xor(out_buffer, out_masks[cycle][:, None], out=out_buffer)
+            out_diff = bitwise_or_reduce(out_buffer, axis=0)
+            newly_failed = out_diff & not_failed & injected
+            if newly_failed.any():
+                bits = np.unpackbits(
+                    newly_failed.view(np.uint8), bitorder="little"
+                )
+                fail_cycle[np.nonzero(bits)[0]] = cycle
+                np.bitwise_and(not_failed, ~newly_failed, out=not_failed)
+
+            values.take(program.d_slots, 0, d_buffer)
+            q_view[:] = d_buffer
+
+            if (
+                not schedule.persistent
+                and cycle >= last_activation
+                and not no_candidate.any()
+            ):
+                # Transient faults cannot re-diverge: every lane has
+                # converged and no injection remains, so fail/vanish are
+                # final — skip the tail (and the post-bench compare).
+                self.last_stats = {
+                    "cycles_executed": cycle + 1,
+                    "num_cycles": num_cycles,
+                    "num_words": num_words,
+                    "num_groups": len(program.groups),
+                    "native": False,
+                }
+                return fail_cycle.tolist(), vanish_cycle.tolist()
+
+        apply_cycle_events(num_cycles)
+        update_vanish(num_cycles, num_cycles - 1)
+
+        self.last_stats = {
+            "cycles_executed": num_cycles,
+            "num_cycles": num_cycles,
+            "num_words": num_words,
+            "num_groups": len(program.groups),
+            "native": False,
+        }
         return fail_cycle.tolist(), vanish_cycle.tolist()
 
     # ------------------------------------------------------------------
@@ -699,7 +877,6 @@ class FusedEngine(GradingEngine):
         not_vanished = valid.copy()
 
         bitwise_xor = np.bitwise_xor
-        bitwise_and = np.bitwise_and
         bitwise_or_reduce = np.bitwise_or.reduce
         starts = lanes.starts
         ends = lanes.ends
@@ -717,21 +894,7 @@ class FusedEngine(GradingEngine):
 
             input_view[:] = in_masks[cycle][:, None]
 
-            for step in plan:
-                tag = step[0]
-                if tag == _P_BIN:
-                    step[1](step[2], step[3], out=step[4])
-                elif tag == _P_GATHER:
-                    values.take(step[1], 0, step[2])
-                elif tag == _P_BININV:
-                    view = step[4]
-                    step[1](step[2], step[3], out=view)
-                    bitwise_xor(view, step[5], out=view)
-                else:  # _P_MUX: out = d0 ^ (select & (d0 ^ d1))
-                    view = step[4]
-                    bitwise_xor(step[2], step[3], out=view)
-                    bitwise_and(view, step[1], out=view)
-                    bitwise_xor(view, step[2], out=view)
+            _exec_plan(plan, values)
 
             values.take(program.output_slots, 0, out_buffer)
             bitwise_xor(out_buffer, out_masks[cycle][:, None], out=out_buffer)

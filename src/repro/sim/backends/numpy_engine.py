@@ -5,6 +5,11 @@ faults per word) and every op of the levelized program is dispatched
 through a Python ``if/elif`` chain each cycle. It is kept as a registered
 engine for cross-checking the fused engine and for bisecting perf
 regressions; production grading uses ``fused``.
+
+Plain SEU campaigns take the original loop verbatim. Fault lists from the
+other models (:mod:`repro.faults.models`) run the generic branch, which
+adds multi-flop flips and per-cycle force-mask re-application driven by an
+:class:`~repro.sim.inject.InjectionSchedule`.
 """
 
 from __future__ import annotations
@@ -29,7 +34,10 @@ from repro.sim.compile import (
     CompiledNetlist,
 )
 from repro.sim.cycle import GoldenTrace
+from repro.sim.inject import schedule_for
 from repro.sim.vectors import Testbench
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 def _unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
@@ -38,6 +46,54 @@ def _unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
     as_bytes = words.view(np.uint8)
     bits = np.unpackbits(as_bytes, bitorder="little")
     return bits[:num_bits].astype(bool)
+
+
+def _eval_ops(values: np.ndarray, ops, ones: np.uint64) -> None:
+    """Evaluate the levelized op program over the value array in place."""
+    for opcode, in_slots, out_slot in ops:
+        if opcode == OP_AND:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row &= values[slot]
+            values[out_slot] = row
+        elif opcode == OP_OR:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row |= values[slot]
+            values[out_slot] = row
+        elif opcode == OP_NAND:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row &= values[slot]
+            values[out_slot] = ~row
+        elif opcode == OP_NOR:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row |= values[slot]
+            values[out_slot] = ~row
+        elif opcode == OP_XOR:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row ^= values[slot]
+            values[out_slot] = row
+        elif opcode == OP_XNOR:
+            row = values[in_slots[0]].copy()
+            for slot in in_slots[1:]:
+                row ^= values[slot]
+            values[out_slot] = ~row
+        elif opcode == OP_BUF:
+            values[out_slot] = values[in_slots[0]]
+        elif opcode == OP_INV:
+            values[out_slot] = ~values[in_slots[0]]
+        elif opcode == OP_MUX2:
+            select = values[in_slots[0]]
+            values[out_slot] = (select & values[in_slots[2]]) | (
+                ~select & values[in_slots[1]]
+            )
+        elif opcode == OP_CONST0:
+            values[out_slot, :] = 0
+        else:  # OP_CONST1
+            values[out_slot, :] = ones
 
 
 @register_engine
@@ -53,9 +109,24 @@ class NumpyEngine(GradingEngine):
         faults: Sequence[SeuFault],
         golden: GoldenTrace,
     ) -> Tuple[List[int], List[int]]:
+        schedule = schedule_for(faults, testbench.num_cycles, compiled.num_flops)
+        if schedule.simple:
+            return self._grade_simple(compiled, testbench, faults, golden)
+        return self._grade_general(compiled, testbench, golden, schedule)
+
+    # ------------------------------------------------------------------
+    # the original SEU loop (one-shot XOR, first-match vanish)
+    # ------------------------------------------------------------------
+    def _grade_simple(
+        self,
+        compiled: CompiledNetlist,
+        testbench: Testbench,
+        faults: Sequence[SeuFault],
+        golden: GoldenTrace,
+    ) -> Tuple[List[int], List[int]]:
         num_faults = len(faults)
         num_words = (num_faults + 63) // 64
-        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        ones = _ONES
 
         values = np.zeros((compiled.num_slots, num_words), dtype=np.uint64)
 
@@ -92,50 +163,7 @@ class NumpyEngine(GradingEngine):
                 values[slot, :] = ones if (vector >> position) & 1 else 0
 
             # 3. evaluate combinational logic
-            for opcode, in_slots, out_slot in ops:
-                if opcode == OP_AND:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row &= values[slot]
-                    values[out_slot] = row
-                elif opcode == OP_OR:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row |= values[slot]
-                    values[out_slot] = row
-                elif opcode == OP_NAND:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row &= values[slot]
-                    values[out_slot] = ~row
-                elif opcode == OP_NOR:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row |= values[slot]
-                    values[out_slot] = ~row
-                elif opcode == OP_XOR:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row ^= values[slot]
-                    values[out_slot] = row
-                elif opcode == OP_XNOR:
-                    row = values[in_slots[0]].copy()
-                    for slot in in_slots[1:]:
-                        row ^= values[slot]
-                    values[out_slot] = ~row
-                elif opcode == OP_BUF:
-                    values[out_slot] = values[in_slots[0]]
-                elif opcode == OP_INV:
-                    values[out_slot] = ~values[in_slots[0]]
-                elif opcode == OP_MUX2:
-                    select = values[in_slots[0]]
-                    values[out_slot] = (select & values[in_slots[2]]) | (
-                        ~select & values[in_slots[1]]
-                    )
-                elif opcode == OP_CONST0:
-                    values[out_slot, :] = 0
-                else:  # OP_CONST1
-                    values[out_slot, :] = ones
+            _eval_ops(values, ops, ones)
 
             # 4. compare outputs against the golden output word
             golden_out = golden.outputs[cycle]
@@ -171,5 +199,132 @@ class NumpyEngine(GradingEngine):
         self.last_stats = {
             "cycles_executed": testbench.num_cycles,
             "num_cycles": testbench.num_cycles,
+        }
+        return fail_cycle.tolist(), vanish_cycle.tolist()
+
+    # ------------------------------------------------------------------
+    # the generic loop (multi-flop flips, per-cycle force re-application)
+    # ------------------------------------------------------------------
+    def _grade_general(
+        self,
+        compiled: CompiledNetlist,
+        testbench: Testbench,
+        golden: GoldenTrace,
+        schedule,
+    ) -> Tuple[List[int], List[int]]:
+        num_faults = schedule.num_faults
+        num_cycles = testbench.num_cycles
+        num_words = (num_faults + 63) // 64
+        ones = _ONES
+        num_flops = compiled.num_flops
+        q_slots = [flop.q_index for flop in compiled.flops]
+
+        values = np.zeros((compiled.num_slots, num_words), dtype=np.uint64)
+        reset = golden.states[0]
+        for position, slot in enumerate(q_slots):
+            values[slot, :] = ones if (reset >> position) & 1 else 0
+
+        fail_cycle = np.full(num_faults, -1, dtype=np.int64)
+        vanish_cycle = np.full(num_faults, -1, dtype=np.int64)
+
+        # Word-plane bookkeeping (bit i of word w = lane w*64+i).
+        injected = np.zeros(num_words, dtype=np.uint64)
+        not_failed = np.full(num_words, ones, dtype=np.uint64)
+        no_candidate = np.full(num_words, ones, dtype=np.uint64)
+
+        # Per-flop force planes, re-applied to the held state every cycle.
+        force_mask = np.zeros((num_flops, num_words), dtype=np.uint64)
+        force_set = np.zeros((num_flops, num_words), dtype=np.uint64)
+        forced_rows: set = set()
+
+        activations: Dict[int, List[int]] = {}
+        for lane, cycle in enumerate(schedule.first_active):
+            activations.setdefault(cycle, []).append(lane)
+
+        def lane_bit(lane: int) -> Tuple[int, np.uint64]:
+            return lane >> 6, np.uint64(1 << (lane & 63))
+
+        def apply_cycle_events(cycle: int) -> None:
+            """Flips, force transitions and plane re-application for
+            the state held during ``cycle``."""
+            for flop_index, lane in schedule.flips.get(cycle, ()):
+                word, bit = lane_bit(lane)
+                values[q_slots[flop_index], word] ^= bit
+            for flop_index, lane, value in schedule.force_on.get(cycle, ()):
+                word, bit = lane_bit(lane)
+                force_mask[flop_index, word] |= bit
+                if value:
+                    force_set[flop_index, word] |= bit
+                forced_rows.add(flop_index)
+            for flop_index, lane in schedule.force_off.get(cycle, ()):
+                word, bit = lane_bit(lane)
+                force_mask[flop_index, word] &= ~bit
+                force_set[flop_index, word] &= ~bit
+            for flop_index in forced_rows:
+                slot = q_slots[flop_index]
+                values[slot] = (values[slot] & ~force_mask[flop_index]) | (
+                    force_set[flop_index]
+                )
+
+        def update_vanish(state_word: int, end_cycle: int) -> None:
+            """Candidate bookkeeping for "vanished by the end of
+            ``end_cycle``", comparing the held q rows to ``state_word``."""
+            state_diff = np.zeros(num_words, dtype=np.uint64)
+            for position, slot in enumerate(q_slots):
+                if (state_word >> position) & 1:
+                    state_diff |= ~values[slot]
+                else:
+                    state_diff |= values[slot]
+            conv = ~state_diff & injected
+            newly = conv & no_candidate
+            if newly.any():
+                bits = _unpack_bits(newly, num_faults)
+                vanish_cycle[bits] = end_cycle
+                np.bitwise_and(no_candidate, ~newly, out=no_candidate)
+            lost = state_diff & injected & ~no_candidate
+            if lost.any():
+                bits = _unpack_bits(lost, num_faults)
+                vanish_cycle[bits] = -1
+                np.bitwise_or(no_candidate, lost, out=no_candidate)
+
+        for cycle in range(num_cycles):
+            apply_cycle_events(cycle)
+            if cycle > 0:
+                update_vanish(golden.states[cycle], cycle - 1)
+            for lane in activations.get(cycle, ()):
+                word, bit = lane_bit(lane)
+                injected[word] |= bit
+
+            vector = testbench.vectors[cycle]
+            for position, slot in enumerate(compiled.input_slots):
+                values[slot, :] = ones if (vector >> position) & 1 else 0
+
+            _eval_ops(values, compiled.ops, ones)
+
+            golden_out = golden.outputs[cycle]
+            out_diff = np.zeros(num_words, dtype=np.uint64)
+            for position, slot in enumerate(compiled.output_slots):
+                if (golden_out >> position) & 1:
+                    out_diff |= ~values[slot]
+                else:
+                    out_diff |= values[slot]
+            newly_failed = out_diff & not_failed & injected
+            if newly_failed.any():
+                bits = _unpack_bits(newly_failed, num_faults)
+                fail_cycle[bits] = cycle
+                not_failed &= ~newly_failed
+
+            next_rows = [values[flop.d_index].copy() for flop in compiled.flops]
+            for slot, row in zip(q_slots, next_rows):
+                values[slot] = row
+
+        # The post-bench state: force transitions scheduled at num_cycles
+        # govern what the circuit is left holding after the last latch.
+        apply_cycle_events(num_cycles)
+        update_vanish(golden.states[num_cycles], num_cycles - 1)
+
+        self.last_stats = {
+            "cycles_executed": num_cycles,
+            "num_cycles": num_cycles,
         }
         return fail_cycle.tolist(), vanish_cycle.tolist()

@@ -144,6 +144,56 @@ def run_golden(netlist_or_compiled, testbench: Testbench) -> GoldenTrace:
     return trace
 
 
+def replay_fault(
+    netlist_or_compiled,
+    testbench: Testbench,
+    fault,
+    golden: Optional[GoldenTrace] = None,
+) -> Dict[str, int]:
+    """Reference replay for *any* fault model (slow path, one fault).
+
+    Generalizes :func:`replay_single_fault` to the full injection
+    protocol of :class:`repro.faults.model.SeuFault`: all of the fault's
+    flips are applied at its onset cycle, and its force (if any) is
+    re-applied to the held state every cycle it is active — including the
+    post-bench state, which decides SILENT vs LATENT for persistent
+    faults. ``vanish_cycle`` is the start of the final golden-equal
+    suffix (identical to first-match for transient faults, which cannot
+    re-diverge).
+    """
+    if golden is None:
+        golden = run_golden(netlist_or_compiled, testbench)
+    simulator = CycleSimulator(netlist_or_compiled)
+    simulator.set_state(golden.states[fault.cycle])
+    fail_cycle = -1
+    vanish_cycle = -1
+    for cycle in range(fault.cycle, testbench.num_cycles):
+        state = simulator.get_state()
+        if cycle == fault.cycle:
+            for flop_index in fault.flip_flops():
+                state ^= 1 << flop_index
+        state = fault.apply_force(state, cycle)
+        simulator.set_state(state)
+        if cycle > fault.cycle:
+            # The state held *during* this cycle decides whether the
+            # fault effect had disappeared at the end of the previous one.
+            if state == golden.states[cycle]:
+                if vanish_cycle == -1:
+                    vanish_cycle = cycle - 1
+            else:
+                vanish_cycle = -1
+        output = simulator.step(testbench.vectors[cycle])
+        if fail_cycle == -1 and output != golden.outputs[cycle]:
+            fail_cycle = cycle
+    final = fault.apply_force(simulator.get_state(), testbench.num_cycles)
+    if final == golden.final_state():
+        if vanish_cycle == -1:
+            vanish_cycle = testbench.num_cycles - 1
+    else:
+        vanish_cycle = -1
+    return {"fail_cycle": fail_cycle, "vanish_cycle": vanish_cycle}
+
+
 def replay_single_fault(
     netlist_or_compiled,
     testbench: Testbench,

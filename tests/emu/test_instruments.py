@@ -104,6 +104,103 @@ class TestFlopBudgets:
                 assert f"tm${role}[{index}]" in names
 
 
+class TestPersistentForceHardware:
+    """The opt-in force override for stuck-at / intermittent models."""
+
+    def test_default_instruments_have_no_force_ports(self, counter):
+        for technique in ("mask_scan", "time_multiplexed"):
+            instrumented = instrument_circuit(counter, technique)
+            assert "force" not in instrumented.control_inputs
+            with pytest.raises(InstrumentationError):
+                instrumented.control_input("force")
+
+    def test_persistent_model_adds_force_ports(self, counter):
+        for technique in ("mask_scan", "time_multiplexed"):
+            instrumented = instrument_circuit(
+                counter, technique, fault_model="stuck_at_1"
+            )
+            assert instrumented.control_input("force").endswith("force")
+            assert instrumented.control_input("force_value").endswith(
+                "force_val"
+            )
+
+    def test_state_scan_unchanged_for_persistent_models(self, counter):
+        plain = instrument_circuit(counter, "state_scan")
+        persistent = instrument_circuit(
+            counter, "state_scan", fault_model="stuck_at_0"
+        )
+        assert len(persistent.netlist.gates) == len(plain.netlist.gates)
+
+    def test_persistent_maskscan_transparent_when_inactive(self, counter):
+        from repro.emu.instrument.maskscan import instrument_mask_scan
+        from repro.sim.cycle import run_golden
+
+        instrumented = instrument_mask_scan(counter, persistent=True)
+        bench = random_testbench(counter, 20, seed=6)
+        reference = run_golden(counter, bench)
+        observed = transparent_run(instrumented, bench)
+        assert observed == reference.outputs
+
+    def test_maskscan_force_holds_the_flop(self):
+        """Program the mask for the toggle's flop, then hold the force:
+        the visible q must stick at the forced value every cycle, and
+        release when the force drops — a stuck-at / intermittent fault in
+        hardware."""
+        from tests.conftest import build_toggle
+
+        toggle = build_toggle()
+        instrumented = instrument_circuit(
+            toggle, "mask_scan", fault_model="stuck_at_1"
+        )
+        netlist = instrumented.netlist
+        sim = CycleSimulator(compile_netlist(netlist))
+        position = {net: i for i, net in enumerate(netlist.inputs)}
+        out_position = netlist.outputs.index("out")
+
+        def step(**controls):
+            word = 0
+            for net, value in controls.items():
+                if value:
+                    word |= 1 << position[net]
+            return (sim.step(word) >> out_position) & 1
+
+        # cycle 0: program the mask (address 0/0 selects flop 0)
+        step(ms_set=1)
+        # cycles 1..4: hold the force at 1 -> q reads 1 every cycle even
+        # though the toggle flop would alternate
+        forced = [
+            step(ms_force=1, ms_force_val=1) for _ in range(4)
+        ]
+        assert forced == [1, 1, 1, 1]
+        # release: the raw flop (fed ~q_eff = 0 while forced) now shows
+        # its own alternating value again
+        released = [step() for _ in range(3)]
+        assert released in ([1, 0, 1], [0, 1, 0])
+
+    def test_maskscan_force_to_zero(self):
+        from tests.conftest import build_toggle
+
+        toggle = build_toggle()
+        instrumented = instrument_circuit(
+            toggle, "mask_scan", fault_model="stuck_at_0"
+        )
+        netlist = instrumented.netlist
+        sim = CycleSimulator(compile_netlist(netlist))
+        position = {net: i for i, net in enumerate(netlist.inputs)}
+        out_position = netlist.outputs.index("out")
+
+        def step(**controls):
+            word = 0
+            for net, value in controls.items():
+                if value:
+                    word |= 1 << position[net]
+            return (sim.step(word) >> out_position) & 1
+
+        step(ms_set=1)
+        forced = [step(ms_force=1, ms_force_val=0) for _ in range(4)]
+        assert forced == [0, 0, 0, 0]
+
+
 class TestErrors:
     def test_unknown_technique(self, counter):
         with pytest.raises(InstrumentationError):

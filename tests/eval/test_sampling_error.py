@@ -1,0 +1,84 @@
+"""Tests for the sampled-vs-exhaustive comparison table."""
+
+import pytest
+
+from repro.faults.classify import FaultClass, classification_counts
+from repro.eval.sampling_error import (
+    SamplingErrorReport,
+    sampling_error_report,
+)
+from repro.run.runner import CampaignRunner
+from repro.run.spec import CampaignSpec
+
+
+@pytest.fixture(scope="module")
+def report() -> SamplingErrorReport:
+    return sampling_error_report(
+        circuits=("b01", "b06"),
+        samples=(30, 60),
+        num_cycles=20,
+        seed=1,
+    )
+
+
+class TestReportStructure:
+    def test_rows_cover_circuits_samples_classes(self, report):
+        assert len(report.rows) == 2 * 2 * 3
+        assert {row.circuit for row in report.rows} == {"b01", "b06"}
+        assert {row.sample for row in report.rows} == {30, 60}
+        assert {row.fault_class for row in report.rows} == set(FaultClass)
+
+    def test_exhaustive_rates_match_direct_grading(self, report):
+        spec = CampaignSpec(
+            circuit="b01", technique="time_multiplexed", num_cycles=20, seed=1
+        )
+        oracle = CampaignRunner().grade(spec)
+        counts = classification_counts(oracle.verdicts())
+        total = oracle.num_faults
+        for row in report.rows:
+            if row.circuit != "b01":
+                continue
+            assert row.population == total
+            assert row.exhaustive_rate == pytest.approx(
+                counts[row.fault_class] / total
+            )
+
+    def test_estimates_are_sane(self, report):
+        for row in report.rows:
+            low, high = row.estimate.interval
+            assert 0.0 <= low <= row.estimate.proportion <= high <= 1.0
+            assert row.error <= 1.0
+            assert row.covered == (low <= row.exhaustive_rate <= high)
+
+    def test_most_intervals_cover_the_truth(self, report):
+        # 12 rows at 95% nominal: demanding >= 2/3 keeps the test stable
+        # while still catching systematically broken intervals.
+        assert report.coverage() >= 0.66
+
+    def test_render_contains_every_row(self, report):
+        rendered = report.render()
+        assert "Sampling error" in rendered
+        assert rendered.count("b01") == 6
+        assert "interval coverage" in rendered
+
+    def test_oversized_samples_skipped(self):
+        tiny = sampling_error_report(
+            circuits=("b01",), samples=(10, 10_000), num_cycles=10
+        )
+        assert {row.sample for row in tiny.rows} == {10}
+
+
+class TestModelVariants:
+    def test_stuck_at_report(self):
+        report = sampling_error_report(
+            circuits=("b01",),
+            samples=(25,),
+            fault_model="stuck_at_0",
+            sampling="stratified",
+            num_cycles=16,
+            ci_method="clopper_pearson",
+        )
+        assert report.fault_model == "stuck_at_0"
+        assert len(report.rows) == 3
+        for row in report.rows:
+            assert row.estimate.method == "clopper_pearson"

@@ -1,0 +1,254 @@
+"""Statistical properties of the fault sampler.
+
+Three property families the campaign layer depends on:
+
+* **determinism** — the same seed draws the same sample in any process;
+* **coverage** — reported confidence intervals contain the true rate at
+  least about as often as their nominal level claims (checked against
+  seeded synthetic binomial draws, so the test is exact-reproducible);
+* **adaptive termination** — the adaptive sampler always stops, either
+  at the target half-width or at the exhausted population.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.faults.classify import FaultClass
+from repro.faults.model import exhaustive_fault_list
+from repro.faults.sampling import (
+    AdaptiveSampler,
+    SampleEstimate,
+    classification_estimates,
+    clopper_pearson_interval,
+    confidence_interval,
+    draw_sample,
+    sample_fault_list,
+    stratified_sample_fault_list,
+    wilson_interval,
+)
+from repro.util.rng import DeterministicRng
+from tests.conftest import build_counter, build_shift_register
+
+
+@pytest.fixture(scope="module")
+def population():
+    return exhaustive_fault_list(build_shift_register(6), 40)
+
+
+class TestSamplerDeterminism:
+    def test_uniform_same_seed_same_sample(self, population):
+        assert sample_fault_list(population, 60, seed=7) == sample_fault_list(
+            population, 60, seed=7
+        )
+
+    def test_uniform_different_seed_different_sample(self, population):
+        assert sample_fault_list(population, 60, seed=7) != sample_fault_list(
+            population, 60, seed=8
+        )
+
+    def test_stratified_same_seed_same_sample(self, population):
+        assert stratified_sample_fault_list(
+            population, 60, seed=3
+        ) == stratified_sample_fault_list(population, 60, seed=3)
+
+    def test_samples_are_sorted_distinct_subsets(self, population):
+        for method in ("uniform", "stratified"):
+            sample = draw_sample(population, 50, seed=1, method=method)
+            assert sample == sorted(sample)
+            assert len(set(sample)) == 50
+            assert set(sample) <= set(population)
+
+    def test_unknown_method_rejected(self, population):
+        with pytest.raises(CampaignError, match="sampling method"):
+            draw_sample(population, 10, method="psychic")
+
+
+class TestStratifiedAllocation:
+    def test_quotas_proportional_per_flop(self, population):
+        sample = stratified_sample_fault_list(population, 60, seed=0)
+        per_flop = Counter(fault.flop_index for fault in sample)
+        # 6 equal strata, 60 draws -> exactly 10 each.
+        assert sorted(per_flop.values()) == [10] * 6
+
+    def test_uneven_count_spreads_remainder(self, population):
+        sample = stratified_sample_fault_list(population, 62, seed=0)
+        per_flop = Counter(fault.flop_index for fault in sample)
+        assert sum(per_flop.values()) == 62
+        assert max(per_flop.values()) - min(per_flop.values()) <= 1
+
+    def test_every_flop_represented_in_small_samples(self, population):
+        sample = stratified_sample_fault_list(population, 6, seed=5)
+        assert len({fault.flop_index for fault in sample}) == 6
+
+    def test_sample_larger_than_population_rejected(self, population):
+        with pytest.raises(CampaignError):
+            stratified_sample_fault_list(population, len(population) + 1)
+
+
+class TestIntervals:
+    def test_clopper_pearson_known_endpoints(self):
+        # s=0 and s=n have closed forms: (0, 1-(a/2)^(1/n)) etc.
+        low, high = clopper_pearson_interval(0, 50, confidence=0.95)
+        assert low == 0.0
+        assert high == pytest.approx(1 - 0.025 ** (1 / 50), abs=1e-9)
+        low, high = clopper_pearson_interval(50, 50, confidence=0.95)
+        assert high == 1.0
+        assert low == pytest.approx(0.025 ** (1 / 50), abs=1e-9)
+
+    def test_clopper_pearson_textbook_value(self):
+        low, high = clopper_pearson_interval(5, 20, confidence=0.95)
+        assert low == pytest.approx(0.0866, abs=5e-4)
+        assert high == pytest.approx(0.4910, abs=5e-4)
+
+    def test_clopper_pearson_contains_wilson(self):
+        """The exact interval is conservative: it contains the Wilson
+        interval for interior counts."""
+        for successes, trials in ((1, 30), (10, 40), (25, 50), (59, 60)):
+            exact = clopper_pearson_interval(successes, trials)
+            wilson = wilson_interval(successes, trials)
+            assert exact[0] <= wilson[0] + 1e-12
+            assert exact[1] >= wilson[1] - 1e-12
+
+    def test_method_dispatch_and_validation(self):
+        assert confidence_interval(3, 10, method="wilson") == wilson_interval(3, 10)
+        assert confidence_interval(
+            3, 10, method="clopper_pearson"
+        ) == clopper_pearson_interval(3, 10)
+        with pytest.raises(CampaignError):
+            confidence_interval(3, 10, method="gut_feeling")
+        with pytest.raises(CampaignError):
+            clopper_pearson_interval(5, 0)
+
+    @pytest.mark.parametrize("method", ["wilson", "clopper_pearson"])
+    @pytest.mark.parametrize("true_rate", [0.05, 0.5, 0.9])
+    def test_coverage_property(self, method, true_rate):
+        """Over many seeded binomial experiments, the 95% interval must
+        contain the true rate in at least ~90% of them (Wilson's actual
+        coverage dips slightly below nominal for some rates; Clopper-
+        Pearson is conservative by construction)."""
+        experiments = 200
+        trials = 120
+        rng = DeterministicRng(1234)
+        covered = 0
+        for _ in range(experiments):
+            successes = sum(
+                rng.bit(true_rate) for _ in range(trials)
+            )
+            low, high = confidence_interval(
+                successes, trials, confidence=0.95, method=method
+            )
+            covered += low <= true_rate <= high
+        assert covered / experiments >= 0.90
+
+    def test_estimate_describe_and_half_width(self):
+        estimate = SampleEstimate(successes=50, trials=100)
+        low, high = estimate.interval
+        assert estimate.half_width == pytest.approx((high - low) / 2)
+        assert estimate.covers(0.5)
+        assert "%" in estimate.describe()
+
+    def test_classification_estimates_cover_all_classes(self):
+        verdicts = (
+            [FaultClass.FAILURE] * 30
+            + [FaultClass.LATENT] * 10
+            + [FaultClass.SILENT] * 60
+        )
+        estimates = classification_estimates(verdicts)
+        assert set(estimates) == set(FaultClass)
+        assert estimates[FaultClass.SILENT].proportion == pytest.approx(0.6)
+        total = sum(e.successes for e in estimates.values())
+        assert total == 100
+
+
+class TestAdaptiveSampler:
+    @staticmethod
+    def synthetic_estimates(count):
+        return {
+            FaultClass.FAILURE: SampleEstimate(count // 2, count),
+            FaultClass.LATENT: SampleEstimate(count // 10, count),
+            FaultClass.SILENT: SampleEstimate(count - count // 2 - count // 10, count),
+        }
+
+    def test_reaches_target_and_stops(self):
+        sampler = AdaptiveSampler(population=100_000, target_half_width=0.02)
+        steps = 0
+        while sampler.next_count(self.synthetic_estimates(sampler.count)):
+            steps += 1
+            assert steps < 30, "adaptive sampler failed to terminate"
+        assert sampler.achieved_half_width <= 0.02
+        assert not sampler.exhausted
+
+    def test_impossible_target_terminates_at_population(self):
+        sampler = AdaptiveSampler(
+            population=300, target_half_width=0.0001, initial=50
+        )
+        steps = 0
+        while sampler.next_count(self.synthetic_estimates(sampler.count)):
+            steps += 1
+            assert steps < 30
+        assert sampler.exhausted
+        assert sampler.rounds[-1][0] == 300
+
+    def test_growth_is_geometric_and_capped(self):
+        sampler = AdaptiveSampler(
+            population=10_000, target_half_width=0.001, initial=100,
+            growth=2.0, max_count=500,
+        )
+        sizes = [sampler.count]
+        while sampler.next_count(self.synthetic_estimates(sampler.count)):
+            sizes.append(sampler.count)
+        assert sizes == [100, 200, 400, 500]
+
+    def test_parameter_validation(self):
+        with pytest.raises(CampaignError):
+            AdaptiveSampler(population=0, target_half_width=0.1)
+        with pytest.raises(CampaignError):
+            AdaptiveSampler(population=10, target_half_width=0.6)
+        with pytest.raises(CampaignError):
+            AdaptiveSampler(population=10, target_half_width=0.1, growth=1.0)
+
+
+class TestRunnerAdaptive:
+    """End-to-end adaptive campaigns through the CampaignRunner."""
+
+    def test_adaptive_run_terminates_and_reports(self):
+        from repro.run.runner import CampaignRunner
+        from repro.run.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=16, sample=10
+        )
+        runner = CampaignRunner()
+        adaptive = runner.run_adaptive(spec, target_half_width=0.2)
+        assert adaptive.rounds, "at least one round must be recorded"
+        worst = max(e.half_width for e in adaptive.estimates.values())
+        assert worst <= 0.2 or adaptive.exhausted
+        assert adaptive.oracle.num_faults == adaptive.rounds[-1][0]
+
+    def test_adaptive_exhausts_small_population(self):
+        from repro.run.runner import CampaignRunner
+        from repro.run.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=8, sample=5
+        )
+        adaptive = CampaignRunner().run_adaptive(
+            spec, target_half_width=0.001
+        )
+        assert adaptive.exhausted
+        assert adaptive.spec.sample is None  # final round was exhaustive
+
+    def test_counter_based_population_sanity(self):
+        # population_size through the spec agrees with the model
+        from repro.run.spec import CampaignSpec
+
+        counter = build_counter()
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=12,
+            fault_model="stuck_at_0",
+        )
+        netlist = spec.build_netlist()
+        assert spec.population_size(netlist) == netlist.num_ffs * 12
+        assert counter.num_ffs > 0  # fixture sanity

@@ -74,6 +74,111 @@ class TestRun:
         assert "unknown circuit" in capsys.readouterr().err
 
 
+class TestFaultModelFlags:
+    def test_stuck_at_sampled_run_reports_intervals_and_resumes(
+        self, tmp_path, capsys
+    ):
+        args = [
+            "run",
+            "--circuit", "b04",
+            "--technique", "time_multiplexed",
+            "--fault-model", "stuck_at_1",
+            "--sample", "60",
+            "--cycles", "16",
+            "--store", str(tmp_path),
+            "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sampled 60/" in out
+        for fault_class in ("failure", "latent", "silent"):
+            assert fault_class in out
+        assert "%" in out and "[" in out  # interval rendering
+        # rerun resumes the same store rather than regrading
+        assert main(args[:-1]) == 0  # drop --quiet to see shard lines
+        assert "resuming" in capsys.readouterr().out
+
+    def test_mbu_run_smoke(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b06",
+                "--technique", "mask_scan",
+                "--fault-model", "mbu:2",
+                "--cycles", "10",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "mask_scan on b06" in capsys.readouterr().out
+
+    def test_stratified_sampling_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b06",
+                "--technique", "mask_scan",
+                "--sample", "40",
+                "--sampling", "stratified",
+                "--cycles", "12",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "stratified" in capsys.readouterr().out
+
+    def test_adaptive_ci_target(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b01",
+                "--technique", "mask_scan",
+                "--cycles", "16",
+                "--sample", "8",
+                "--ci-target", "0.3",
+                "--ci-method", "clopper_pearson",
+                "--no-store", "--quiet",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adaptive: target half-width" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["adaptive_rounds"]
+        assert payload["estimates"]["failure"]["method"] == "clopper_pearson"
+
+    def test_unknown_fault_model_is_an_error_not_a_traceback(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b01",
+                "--fault-model", "gremlins",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "unknown fault model" in capsys.readouterr().err
+
+
+class TestSamplingError:
+    def test_sampling_error_table(self, capsys):
+        code = main(
+            [
+                "sampling-error",
+                "--circuits", "b01",
+                "--samples", "20",
+                "--cycles", "16",
+                "--no-store", "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sampling error" in out
+        assert "exhaustive" in out and "covered" in out
+        assert "interval coverage" in out
+
+
 class TestSweep:
     def test_sweep_renders_all_techniques(self, capsys):
         code = main(

@@ -111,6 +111,89 @@ class TestIdentity:
         assert a.campaign_id != b.campaign_id
 
 
+class TestFaultModelField:
+    def test_unknown_fault_model_rejected(self):
+        with pytest.raises(CampaignError, match="fault model"):
+            CampaignSpec(circuit="b01", technique="mask_scan", fault_model="prayer")
+
+    def test_unknown_sampling_rejected(self):
+        with pytest.raises(CampaignError, match="sampling"):
+            CampaignSpec(circuit="b01", technique="mask_scan", sampling="vibes")
+
+    def test_default_model_is_seu(self):
+        spec = CampaignSpec(circuit="b01", technique="mask_scan")
+        assert spec.fault_model == "seu"
+        assert spec.fault_model_obj().transient
+
+    def test_fault_model_changes_oracle_identity(self):
+        seu = CampaignSpec(circuit="b06", technique="mask_scan")
+        stuck = CampaignSpec(
+            circuit="b06", technique="mask_scan", fault_model="stuck_at_0"
+        )
+        assert seu.campaign_id != stuck.campaign_id
+        assert seu.oracle_key()["fault_model"] == "seu"
+        assert stuck.oracle_key()["fault_model"] == "stuck_at_0"
+
+    def test_sampling_method_changes_oracle_identity(self):
+        uniform = CampaignSpec(
+            circuit="b06", technique="mask_scan", sample=20
+        )
+        stratified = CampaignSpec(
+            circuit="b06", technique="mask_scan", sample=20,
+            sampling="stratified",
+        )
+        assert uniform.campaign_id != stratified.campaign_id
+
+    def test_model_population_flows_into_scenario(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=10,
+            fault_model="stuck_at_1",
+        )
+        scenario = spec.scenario()
+        assert len(scenario.faults) == scenario.netlist.num_ffs * 10
+        assert all(fault.persistent for fault in scenario.faults)
+        assert all(fault.force_value() == 1 for fault in scenario.faults)
+
+    def test_stratified_sample_covers_flops(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=20,
+            sample=10, sampling="stratified",
+        )
+        scenario = spec.scenario()
+        flops = {fault.flop_index for fault in scenario.faults}
+        assert len(flops) >= min(10, scenario.netlist.num_ffs)
+
+    def test_fault_key_contents(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", sample=50, seed=3,
+            fault_model="mbu:2", sampling="stratified",
+        )
+        assert spec.fault_key() == {
+            "fault_model": "mbu:2",
+            "sampling": "stratified",
+            "sample": 50,
+            "seed": 3,
+        }
+
+    def test_roundtrip_with_new_fields(self):
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan",
+            fault_model="intermittent:6:2", sampling="stratified", sample=9,
+        )
+        assert CampaignSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        ) == spec
+
+    def test_old_spec_dicts_still_load(self):
+        """Spec dicts persisted before the fault-model fields existed
+        must resolve to the SEU defaults."""
+        spec = CampaignSpec.from_dict(
+            {"circuit": "b01", "technique": "mask_scan", "sample": 5}
+        )
+        assert spec.fault_model == "seu"
+        assert spec.sampling == "uniform"
+
+
 class TestMatrix:
     def test_full_expansion(self):
         specs = CampaignSpec.matrix(

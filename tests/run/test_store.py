@@ -6,9 +6,10 @@ import os
 import pytest
 
 from repro.errors import CampaignError
-from repro.run.store import ResultsStore, ShardRecord
+from repro.run.store import STORE_VERSION, ResultsStore, ShardRecord
 
 KEY = {"circuit": "b01", "num_cycles": 8, "seed": 0}
+FAULT_KEY = {"fault_model": "seu", "sampling": "uniform", "sample": None, "seed": 0}
 WINDOWS = [(0, 4), (4, 8)]
 
 
@@ -57,6 +58,97 @@ class TestLifecycle:
             ResultsStore.open(
                 str(tmp_path), {**KEY, "seed": 9}, "b01-abc", WINDOWS
             )
+
+
+class TestFaultKeyRefusal:
+    """A store graded under one fault population must refuse another."""
+
+    def open_with(self, root, fault_key, fresh=False):
+        return ResultsStore.open(
+            str(root), KEY, "b01-abc", WINDOWS, fresh=fresh,
+            fault_key=fault_key,
+        )
+
+    def test_same_fault_key_resumes(self, tmp_path):
+        self.open_with(tmp_path, FAULT_KEY)
+        store = self.open_with(tmp_path, dict(FAULT_KEY))
+        assert store.windows == WINDOWS
+
+    def test_different_fault_model_refused_with_named_field(self, tmp_path):
+        self.open_with(tmp_path, FAULT_KEY)
+        with pytest.raises(CampaignError) as excinfo:
+            self.open_with(tmp_path, {**FAULT_KEY, "fault_model": "stuck_at_1"})
+        message = str(excinfo.value)
+        assert "fault_model" in message
+        assert "'seu'" in message and "'stuck_at_1'" in message
+
+    def test_different_sampling_seed_refused(self, tmp_path):
+        self.open_with(tmp_path, {**FAULT_KEY, "sample": 100, "seed": 0})
+        with pytest.raises(CampaignError, match="seed"):
+            self.open_with(tmp_path, {**FAULT_KEY, "sample": 100, "seed": 1})
+
+    def test_different_sampling_method_refused(self, tmp_path):
+        self.open_with(tmp_path, {**FAULT_KEY, "sample": 50})
+        with pytest.raises(CampaignError, match="sampling"):
+            self.open_with(
+                tmp_path,
+                {**FAULT_KEY, "sample": 50, "sampling": "stratified"},
+            )
+
+    def test_fresh_repins_the_fault_key(self, tmp_path):
+        self.open_with(tmp_path, FAULT_KEY)
+        store = self.open_with(
+            tmp_path, {**FAULT_KEY, "fault_model": "mbu:2"}, fresh=True
+        )
+        assert store.completed() == {}
+        # and the new key is now the recorded one
+        self.open_with(tmp_path, {**FAULT_KEY, "fault_model": "mbu:2"})
+
+    def test_store_without_fault_record_refused(self, tmp_path):
+        """A manifest missing the fault section (hand-edited or foreign)
+        cannot prove what population its shards grade."""
+        store = self.open_with(tmp_path, FAULT_KEY)
+        with open(store.manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["fault"]
+        with open(store.manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CampaignError, match="fault-population identity"):
+            self.open_with(tmp_path, FAULT_KEY)
+
+    def test_old_store_version_refused_with_clear_message(self, tmp_path):
+        store = self.open_with(tmp_path, FAULT_KEY)
+        with open(store.manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["version"] = STORE_VERSION - 1
+        with open(store.manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(CampaignError, match="store format"):
+            self.open_with(tmp_path, FAULT_KEY)
+
+    def test_runner_integration_refuses_mismatched_store(self, tmp_path):
+        """End to end: grade a campaign, then impersonate its campaign id
+        with a different fault model — the runner must refuse to resume."""
+        from repro.run.runner import CampaignRunner
+        from repro.run.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=8, sample=5
+        )
+        runner = CampaignRunner(store_root=str(tmp_path))
+        runner.grade(spec)
+        other = CampaignSpec(
+            circuit="b01", technique="mask_scan", num_cycles=8, sample=5,
+            fault_model="stuck_at_1",
+        )
+        # Different fault model -> different campaign id -> different
+        # directory; force the collision a hand-copied store would create.
+        os.rename(
+            os.path.join(str(tmp_path), spec.campaign_id),
+            os.path.join(str(tmp_path), other.campaign_id),
+        )
+        with pytest.raises(CampaignError, match="fault"):
+            runner.grade(other)
 
 
 class TestShardRecords:

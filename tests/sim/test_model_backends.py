@@ -1,0 +1,190 @@
+"""Cross-engine equivalence for the non-SEU fault models.
+
+Every grading engine must agree with the bigint reference and with the
+serial generalized replay for every fault model — the same adversarial
+structure PR 1 established for SEUs, extended to multi-bit, stuck-at and
+intermittent injection. Also locks the engine-selection contract: plain
+SEU lists take the legacy fast path (early exit intact), generalized
+lists take the per-cycle-force branch.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.model import SeuFault
+from repro.faults.models import get_fault_model
+from repro.sim.backends import available_engines, get_engine
+from repro.sim.backends.fused import FusedEngine
+from repro.sim.cycle import replay_fault, run_golden
+from repro.sim.inject import schedule_for
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import constant_testbench, random_testbench
+from tests.conftest import build_counter, build_shift_register
+from tests.sim.test_backends import random_netlist
+
+MODELS = ["mbu:2", "mbu:3", "stuck_at_0", "stuck_at_1", "intermittent:4:2"]
+
+
+def model_fault_sample(model_name, circuit, num_cycles, rng, count=70):
+    population = get_fault_model(model_name).population(circuit, num_cycles)
+    return [population[rng.randrange(len(population))] for _ in range(count)]
+
+
+class TestScheduleFor:
+    def test_plain_seu_lists_are_simple(self):
+        faults = [SeuFault(cycle=1, flop_index=0), SeuFault(cycle=3, flop_index=2)]
+        schedule = schedule_for(faults, 8, 4)
+        assert schedule.simple and not schedule.persistent
+        assert schedule.flips == {}  # fast path never reads event lists
+
+    def test_mbu_is_transient_but_not_simple(self):
+        faults = get_fault_model("mbu:2").population(build_counter(), 4)[:5]
+        schedule = schedule_for(faults, 4, build_counter().num_ffs)
+        assert not schedule.simple and not schedule.persistent
+        assert sum(len(v) for v in schedule.flips.values()) == 10
+
+    def test_stuck_at_is_persistent(self):
+        faults = get_fault_model("stuck_at_1").population(build_counter(), 4)[:5]
+        schedule = schedule_for(faults, 4, build_counter().num_ffs)
+        assert schedule.persistent and not schedule.simple
+        assert sum(len(v) for v in schedule.force_on.values()) == 5
+
+    def test_out_of_range_flip_rejected(self):
+        from repro.errors import CampaignError
+        from repro.faults.models import MbuFault
+
+        with pytest.raises(CampaignError, match="flips flop"):
+            schedule_for([MbuFault(cycle=0, flop_index=2, width=3)], 4, 4)
+
+
+class TestCrossEngineEquivalence:
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_engines_agree_with_bigint(self, model_name, seed):
+        rng = random.Random(9000 + seed)
+        circuit = random_netlist(rng)
+        model = get_fault_model(model_name)
+        if circuit.num_ffs < getattr(model, "width", 1):
+            pytest.skip("circuit smaller than the MBU run")
+        num_cycles = rng.randint(6, 20)
+        bench = random_testbench(circuit, num_cycles, seed=seed)
+        faults = model_fault_sample(model_name, circuit, num_cycles, rng)
+
+        reference = grade_faults(circuit, bench, faults, backend="bigint")
+        for name in available_engines():
+            result = grade_faults(circuit, bench, faults, backend=name)
+            assert result.fail_cycles == reference.fail_cycles, (name, seed)
+            assert result.vanish_cycles == reference.vanish_cycles, (name, seed)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_engines_agree_with_serial_replay(self, model_name):
+        rng = random.Random(31)
+        circuit = build_counter()
+        bench = random_testbench(circuit, 14, seed=2)
+        golden = run_golden(circuit, bench)
+        faults = model_fault_sample(model_name, circuit, 14, rng, count=40)
+        oracle = grade_faults(circuit, bench, faults, backend="fused")
+        for index, fault in enumerate(faults):
+            reference = replay_fault(circuit, bench, fault, golden)
+            assert oracle.fail_cycles[index] == reference["fail_cycle"], (
+                fault.describe()
+            )
+            assert oracle.vanish_cycles[index] == reference["vanish_cycle"], (
+                fault.describe()
+            )
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_fused_plan_path_agrees(self, model_name, monkeypatch):
+        rng = random.Random(77)
+        circuit = build_shift_register(5)
+        bench = random_testbench(circuit, 16, seed=1)
+        faults = model_fault_sample(model_name, circuit, 16, rng, count=66)
+        native = grade_faults(circuit, bench, faults, backend="fused")
+        monkeypatch.setattr(FusedEngine, "use_native", False)
+        plan = grade_faults(circuit, bench, faults, backend="fused")
+        assert plan.fail_cycles == native.fail_cycles
+        assert plan.vanish_cycles == native.vanish_cycles
+
+    def test_word_boundary_lane_counts(self):
+        circuit = build_shift_register(6)
+        bench = random_testbench(circuit, 24, seed=9)
+        population = get_fault_model("stuck_at_1").population(circuit, 24)
+        for count in (1, 63, 64, 65, 130):
+            faults = population[:count]
+            fused = grade_faults(circuit, bench, faults, backend="fused")
+            bigint = grade_faults(circuit, bench, faults, backend="bigint")
+            assert fused.fail_cycles == bigint.fail_cycles, count
+            assert fused.vanish_cycles == bigint.vanish_cycles, count
+
+
+class TestEarlyExitContract:
+    def test_mbu_campaign_still_early_exits(self):
+        """MBUs are transient: a shift register flushes them, and the
+        generic fused branch must stop instead of simulating the tail."""
+        shift = build_shift_register(4)
+        bench = constant_testbench(shift, 200, value=0)
+        faults = get_fault_model("mbu:2").population(shift, 3)
+        engine = get_engine("fused")
+        result = grade_faults(shift, bench, faults, backend="fused")
+        assert engine.last_stats["cycles_executed"] < 15
+        assert all(cycle != -1 for cycle in result.vanish_cycles)
+
+    def test_stuck_at_campaign_runs_the_full_bench(self):
+        """Persistent faults can re-diverge; no early exit allowed even
+        when every lane momentarily matches the golden state."""
+        shift = build_shift_register(4)
+        bench = constant_testbench(shift, 60, value=0)
+        faults = get_fault_model("stuck_at_0").population(shift, 3)
+        engine = get_engine("fused")
+        grade_faults(shift, bench, faults, backend="fused")
+        assert engine.last_stats["cycles_executed"] == 60
+
+    def test_seu_keeps_the_legacy_fast_path(self):
+        """Plain SEU lists must report native-kernel stats (the legacy
+        path), not the generic branch."""
+        counter = build_counter()
+        bench = random_testbench(counter, 12, seed=0)
+        faults = [SeuFault(cycle=0, flop_index=0)]
+        engine = get_engine("fused")
+        grade_faults(counter, bench, faults, backend="fused")
+        assert "native" in engine.last_stats
+        assert engine.last_stats["native"] == bool(
+            __import__("repro.sim.backends._native", fromlist=["native_kernel"])
+            .native_kernel()
+        )
+
+
+class TestPersistentReconvergence:
+    def test_vanish_is_the_final_suffix_not_the_first_match(self):
+        """A stuck-at-0 fault on a flop whose golden value toggles
+        matches the golden state on the golden-0 cycles; first-match
+        semantics would wrongly call it silent."""
+        from tests.conftest import build_toggle
+
+        toggle = build_toggle()
+        bench = constant_testbench(toggle, 12, value=0)
+        population = get_fault_model("stuck_at_0").population(toggle, 12)
+        fault = population[0]  # onset at cycle 0
+        oracle = grade_faults(toggle, bench, [fault], backend="fused")
+        reference = replay_fault(toggle, bench, fault)
+        assert oracle.fail_cycles[0] == reference["fail_cycle"]
+        assert oracle.vanish_cycles[0] == reference["vanish_cycle"]
+        # Golden q alternates 0,1,0,1..., the forced flop holds 0: the
+        # state matches on every even cycle and re-diverges on every odd
+        # one. First-match semantics would report vanish at cycle 1; the
+        # final-suffix rule must instead report the *last* convergence —
+        # the even end-of-bench state, cycle 11.
+        assert oracle.vanish_cycles[0] == 11
+
+    def test_odd_length_bench_never_vanishes(self):
+        """Same fault, bench one cycle shorter: the run now *ends* on a
+        diverged state, so the candidate reset must leave vanish = -1."""
+        from tests.conftest import build_toggle
+
+        toggle = build_toggle()
+        bench = constant_testbench(toggle, 11, value=0)
+        fault = get_fault_model("stuck_at_0").population(toggle, 11)[0]
+        oracle = grade_faults(toggle, bench, [fault], backend="fused")
+        reference = replay_fault(toggle, bench, fault)
+        assert oracle.vanish_cycles[0] == reference["vanish_cycle"] == -1
