@@ -1,0 +1,224 @@
+"""Regenerate the bundled benchmark corpus (``repro/circuits/corpus/``).
+
+Two entries are the canonical published netlists, embedded verbatim:
+``c17`` (smallest ISCAS-85) and ``s27`` (smallest ISCAS-89). The rest
+are *representative reconstructions*: deterministic seeded random logic
+generated to the published port/flop/gate counts of their ISCAS
+namesakes. They exercise the import -> lower -> grade pipeline at
+realistic benchmark sizes without redistributing the original ISCAS
+files; every generated file's header states exactly this.
+
+Run from the repo root (the output is checked in, so running this is
+only needed when changing the generator)::
+
+    PYTHONPATH=src python scripts/make_corpus.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.util.rng import DeterministicRng  # noqa: E402
+
+CORPUS_DIR = REPO_ROOT / "src" / "repro" / "circuits" / "corpus"
+
+C17_BENCH = """\
+# c17 — smallest ISCAS-85 benchmark (canonical netlist)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+S27_BENCH = """\
+# s27 — smallest ISCAS-89 benchmark (canonical netlist)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+#: name -> (inputs, outputs, flops, gates) — the published sizes of the
+#: ISCAS namesakes the reconstructions are generated to.
+RECONSTRUCTIONS = {
+    "c432": (36, 7, 0, 160),
+    "c880": (60, 26, 0, 383),
+    "c1355": (41, 32, 0, 546),
+    "s298": (3, 6, 14, 119),
+    "s344": (9, 11, 15, 160),
+    "s1488": (8, 19, 6, 653),
+}
+
+#: gate types the generator draws from, with (min, max) arity. Wide
+#: gates are intentional: they exercise the frontend lowering pass.
+GATE_MENU = [
+    ("AND", 2, 4),
+    ("NAND", 2, 4),
+    ("OR", 2, 4),
+    ("NOR", 2, 3),
+    ("XOR", 2, 2),
+    ("NOT", 1, 1),
+]
+
+
+def generate(name: str, n_in: int, n_out: int, n_ff: int, n_gates: int, seed: int):
+    """Deterministic random synchronous logic with the given counts.
+
+    Returns (inputs, outputs, flops, gates) where flops is a list of
+    (d, q) and gates a list of (op, input nets, output net), emitted in
+    a topological order for the combinational part (flop feedback only
+    crosses registers, so the result is always acyclic).
+
+    Every gate output ends up observable — gates prefer consuming
+    not-yet-consumed nets, flop data inputs and primary outputs drain
+    the rest — so the frontend's dead-logic sweep keeps the advertised
+    gate counts (modulo a handful of leftovers when the budget runs
+    out).
+    """
+    rng = DeterministicRng(seed).fork(f"corpus:{name}")
+    inputs = [f"I{i}" for i in range(n_in)]
+    states = [f"S{i}" for i in range(n_ff)]
+    pool = inputs + states
+    gates = []
+    produced = []
+    unconsumed = []  # produced nets nothing reads yet, oldest first
+    # The queue width bounds logic depth: each gate drains one
+    # near-oldest dangling net once the queue exceeds it, so depth grows
+    # like n_gates / width (realistic for mapped benchmarks) and the
+    # frontend's dead-logic sweep finds almost nothing to remove.
+    width = max(n_out + n_ff, n_in, n_gates // 24, 6)
+
+    def random_net(chosen):
+        net = pool[rng.integer(0, len(pool) - 1)]
+        if net in chosen:  # one redraw; a rare duplicate input is legal
+            net = pool[rng.integer(0, len(pool) - 1)]
+        return net
+
+    for k in range(n_gates):
+        op, low, high = GATE_MENU[rng.integer(0, len(GATE_MENU) - 1)]
+        arity = rng.integer(low, high)
+        chosen = []
+        if len(unconsumed) > width:
+            index = rng.integer(0, min(4, len(unconsumed) - 1))
+            chosen.append(unconsumed.pop(index))
+        while len(chosen) < arity:
+            chosen.append(random_net(chosen))
+        out = f"N{k}"
+        gates.append((op, chosen, out))
+        produced.append(out)
+        pool.append(out)
+        unconsumed.append(out)
+    flops = []
+    for i in range(n_ff):
+        if len(unconsumed) > n_out:
+            d = unconsumed.pop(rng.integer(0, len(unconsumed) - 1))
+        else:
+            d = produced[rng.integer(0, len(produced) - 1)]
+        flops.append((d, states[i]))
+    # outputs drain the remaining dangling nets, padded with random
+    # produced nets when the logic converged harder than n_out
+    outputs = list(unconsumed[-n_out:])
+    while len(outputs) < n_out:
+        candidate = produced[rng.integer(0, len(produced) - 1)]
+        if candidate not in outputs:
+            outputs.append(candidate)
+    return inputs, outputs, flops, gates
+
+
+def emit_bench(name, inputs, outputs, flops, gates) -> str:
+    lines = [
+        f"# {name} — representative reconstruction generated by",
+        "# scripts/make_corpus.py to the published port/flop/gate counts",
+        f"# of ISCAS benchmark {name}; NOT the original ISCAS netlist.",
+    ]
+    lines += [f"INPUT({net})" for net in inputs]
+    lines += [f"OUTPUT({net})" for net in outputs]
+    lines += [f"{q} = DFF({d})" for d, q in flops]
+    for op, gate_inputs, out in gates:
+        lines.append(f"{out} = {op}({', '.join(gate_inputs)})")
+    return "\n".join(lines) + "\n"
+
+
+def emit_blif(name, inputs, outputs, flops, gates) -> str:
+    lines = [
+        f"# {name} — representative reconstruction generated by",
+        "# scripts/make_corpus.py to the published port/flop/gate counts",
+        f"# of ISCAS benchmark {name}; NOT the original ISCAS netlist.",
+        f".model {name}",
+        ".inputs " + " ".join(inputs),
+        ".outputs " + " ".join(outputs),
+    ]
+    lines += [f".latch {d} {q} re clk 0" for d, q in flops]
+    for op, gate_inputs, out in gates:
+        arity = len(gate_inputs)
+        lines.append(".names " + " ".join(gate_inputs) + f" {out}")
+        if op == "AND":
+            lines.append("1" * arity + " 1")
+        elif op == "NAND":
+            lines.append("1" * arity + " 0")
+        elif op == "OR":
+            for position in range(arity):
+                lines.append(
+                    "-" * position + "1" + "-" * (arity - position - 1) + " 1"
+                )
+        elif op == "NOR":
+            lines.append("0" * arity + " 1")
+        elif op == "XOR":
+            lines.append("01 1")
+            lines.append("10 1")
+        elif op == "NOT":
+            lines.append("0 1")
+        else:  # pragma: no cover - menu and writer must stay in sync
+            raise ValueError(f"no BLIF cover for {op}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    (CORPUS_DIR / "c17.bench").write_text(C17_BENCH)
+    (CORPUS_DIR / "s27.bench").write_text(S27_BENCH)
+    for seed, (name, counts) in enumerate(sorted(RECONSTRUCTIONS.items())):
+        parts = generate(name, *counts, seed=1000 + seed)
+        if name == "s344":  # one BLIF entry keeps that parser end-to-end
+            (CORPUS_DIR / f"{name}.blif").write_text(emit_blif(name, *parts))
+        else:
+            (CORPUS_DIR / f"{name}.bench").write_text(emit_bench(name, *parts))
+    # sanity: every emitted file must load through the frontend
+    from repro.frontend.corpus import corpus_files, load_corpus_circuit
+    from repro.netlist.stats import netlist_stats
+
+    for name in sorted(corpus_files()):
+        stats = netlist_stats(load_corpus_circuit(name))
+        print(stats.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.netlist.netlist import Netlist
@@ -47,13 +47,31 @@ def available_circuits() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def circuit_source_path(name: str) -> Optional[str]:
+    """The netlist file behind a ``file:``/``corpus:`` circuit name, or
+    ``None`` for built circuits. Campaign specs content-hash this file
+    into their oracle identity."""
+    if name.startswith("file:"):
+        return name.split(":", 1)[1]
+    if name.startswith("corpus:"):
+        from repro.frontend.corpus import corpus_path
+
+        return str(corpus_path(name.split(":", 1)[1]))
+    return None
+
+
 def build_circuit(name: str) -> Netlist:
     """Build a registered circuit by name.
 
-    Besides the fixed registry, the parameterized family ``proc:<N>``
-    builds :func:`repro.circuits.generators.build_scaled_processor` with
-    an ``N``-flop budget — the circuit family the crossover sweep uses —
-    so declarative campaign specs can name any sweep cell.
+    Besides the fixed registry, three parameterized families are
+    accepted:
+
+    * ``proc:<N>`` — :func:`repro.circuits.generators.build_scaled_processor`
+      with an ``N``-flop budget (the crossover sweep's circuit family);
+    * ``file:<path>`` — any netlist file the frontend can import
+      (``.bench``, BLIF, ``.bnet``; format auto-detected);
+    * ``corpus:<name>`` — a bundled benchmark from
+      :mod:`repro.frontend.corpus` (e.g. ``corpus:s298``).
     """
     _populate()
     if name.startswith("proc:"):
@@ -65,11 +83,20 @@ def build_circuit(name: str) -> Netlist:
                 f"bad parameterized circuit {name!r}; expected proc:<flops>"
             )
         return generators.build_scaled_processor(int(budget))
+    if name.startswith("file:"):
+        from repro import frontend
+
+        return frontend.load_netlist_file(name.split(":", 1)[1])
+    if name.startswith("corpus:"):
+        from repro.frontend.corpus import load_corpus_circuit
+
+        return load_corpus_circuit(name.split(":", 1)[1])
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise ReproError(
             f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
-            " (plus the parameterized proc:<flops> family)"
+            " (plus the parameterized proc:<flops>, corpus:<name> and "
+            "file:<path> families)"
         ) from None
     return factory()

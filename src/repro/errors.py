@@ -40,10 +40,23 @@ class CampaignError(ReproError):
 
 
 class ParseError(ReproError):
-    """A textual netlist / stimulus file could not be parsed."""
+    """A textual netlist / stimulus file could not be parsed.
 
-    def __init__(self, message: str, line: int | None = None):
-        if line is not None:
+    Carries the 1-based ``line`` (and, when a parser can pinpoint the
+    offending token, 1-based ``column``) so import errors read like
+    compiler diagnostics instead of tracebacks.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        if line is not None and column is not None:
+            message = f"line {line}, column {column}: {message}"
+        elif line is not None:
             message = f"line {line}: {message}"
         super().__init__(message)
         self.line = line
+        self.column = column

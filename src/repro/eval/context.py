@@ -79,7 +79,9 @@ def resolve_scenario(
         netlist = build_circuit(circuit or "b14")
     bench = testbench
     if bench is None:
-        bench = default_testbench_for(netlist, num_cycles=num_cycles, seed=seed)
+        bench = default_testbench_for(
+            netlist, num_cycles=num_cycles, seed=seed, circuit=circuit
+        )
     faults = exhaustive_fault_list(netlist, bench.num_cycles)
     return EvalScenario(netlist=netlist, testbench=bench, faults=faults, spec=None)
 

@@ -1,0 +1,161 @@
+"""Benchmark frontend: import standard netlist formats.
+
+The paper's emulation flow is format-agnostic — any gate-level design
+can be instrumented and graded — and this package is the input layer
+that makes the reproduction match: it parses the standard academic
+netlist formats into :class:`~repro.netlist.netlist.Netlist` objects
+that every engine, fault model, instrument and eval table downstream
+accepts unchanged.
+
+* :func:`load_netlist_file` / :func:`load_netlist` — one call from file
+  or text to a validated, arity-lowered netlist, with format
+  auto-detection (:mod:`repro.frontend.detect`).
+* :mod:`repro.frontend.bench` — ISCAS-89 ``.bench`` parser.
+* :mod:`repro.frontend.blif` — structural BLIF subset parser.
+* :mod:`repro.frontend.lower` — wide-gate → 2-input-primitive lowering.
+* :mod:`repro.frontend.testbench` — deterministic default stimulus for
+  circuits that arrive without any.
+* :mod:`repro.frontend.corpus` — the bundled ISCAS-85/89-style corpus
+  under ``repro/circuits/corpus/``.
+
+All import failures — syntactic or structural — surface as
+:class:`~repro.errors.ParseError` with line (and where possible column)
+positions, never a raw traceback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ParseError, ValidationError
+from repro.frontend.bench import parse_bench
+from repro.frontend.blif import parse_blif
+from repro.frontend.detect import FORMATS, detect_format
+from repro.frontend.lower import lower_gates
+from repro.frontend.testbench import synthesize_testbench
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+
+__all__ = [
+    "FORMATS",
+    "detect_format",
+    "load_netlist",
+    "load_netlist_file",
+    "lower_gates",
+    "netlist_file_digest",
+    "parse_bench",
+    "parse_blif",
+    "synthesize_testbench",
+]
+
+
+def load_netlist(
+    text: str,
+    fmt: Optional[str] = None,
+    name: str = "netlist",
+    max_arity: int = 2,
+    sweep: bool = True,
+    validate: bool = True,
+) -> Netlist:
+    """Parse netlist ``text`` into a lowered, swept, validated netlist.
+
+    ``fmt`` is ``bench``, ``blif`` or ``bnet``; ``None`` auto-detects
+    from content. Gates wider than ``max_arity`` are tree-decomposed
+    (:func:`lower_gates`). ``sweep`` removes logic unreachable from any
+    primary output — real benchmark files routinely carry unobserved
+    logic, and the rest of the stack (instrumentation in particular)
+    demands fully-consumed netlists — exactly what a synthesis
+    frontend's sweep stage would do. Validation then runs strict;
+    failures re-raise as :class:`ParseError` so import failures have one
+    exception type.
+    """
+    if fmt is None:
+        fmt = detect_format(text=text)
+    if fmt == "bench":
+        netlist = parse_bench(text, name=name)
+    elif fmt == "blif":
+        netlist = parse_blif(text, name=name)
+    elif fmt == "bnet":
+        from repro.netlist.textio import loads_netlist
+
+        netlist = loads_netlist(text, validate=False)
+    else:
+        raise ParseError(
+            f"unknown netlist format {fmt!r}; expected one of "
+            f"{', '.join(sorted(FORMATS))}"
+        )
+    netlist = lower_gates(netlist, max_arity=max_arity)
+    if sweep:
+        from repro.netlist.transform import sweep_dead_logic
+
+        netlist = sweep_dead_logic(netlist)
+    if validate:
+        try:
+            validate_netlist(netlist, allow_dangling=not sweep)
+        except ValidationError as error:
+            raise ParseError(f"invalid {fmt} netlist: {error}") from error
+    return netlist
+
+
+def load_netlist_file(
+    path: Union[str, Path],
+    fmt: Optional[str] = None,
+    max_arity: int = 2,
+    sweep: bool = True,
+    validate: bool = True,
+) -> Netlist:
+    """Load a netlist file, auto-detecting the format from its extension
+    (falling back to content sniffing). The netlist is named after the
+    file stem unless the file carries its own name (BLIF ``.model``,
+    ``.bnet`` ``circuit``)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ParseError(f"cannot read netlist file {path}: {error}") from error
+    if fmt is None:
+        fmt = detect_format(path=path, text=text)
+    return load_netlist(
+        text,
+        fmt=fmt,
+        name=path.stem,
+        max_arity=max_arity,
+        sweep=sweep,
+        validate=validate,
+    )
+
+
+#: digest memo: path -> ((mtime_ns, size, inode), digest). Re-keyed by
+#: stat signature so an edited file re-hashes while repeated
+#: oracle_key/campaign_id accesses (every shard progress line of a
+#: runner) cost one stat, not a full read+hash.
+_DIGEST_CACHE: dict = {}
+
+
+def netlist_file_digest(path: Union[str, Path]) -> str:
+    """Content hash of a netlist file (hex, 16 chars).
+
+    :meth:`CampaignSpec.oracle_key` folds this into the identity of
+    every ``file:``/``corpus:`` campaign, so a results store written
+    against one version of a file refuses shards for another.
+
+    Known boundary of the stat-keyed memo: an in-place overwrite that
+    preserves mtime, size *and* inode (e.g. ``cp -p`` of a same-length
+    variant) can serve a stale digest within one process. Ordinary
+    edits, saves and re-imports all change the signature and re-hash.
+    """
+    path = Path(path)
+    try:
+        stat = path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        cached = _DIGEST_CACHE.get(str(path))
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        payload = path.read_bytes()
+    except OSError as error:
+        raise ParseError(f"cannot read netlist file {path}: {error}") from error
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    _DIGEST_CACHE[str(path)] = (signature, digest)
+    return digest

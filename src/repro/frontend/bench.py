@@ -1,0 +1,181 @@
+"""ISCAS-89 ``.bench`` netlist parser.
+
+The ``.bench`` format is the lingua franca of the ISCAS-85/89 benchmark
+suites (and of most academic test-generation tools since)::
+
+    # c17 — smallest ISCAS-85 benchmark
+    INPUT(1)
+    INPUT(2)
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+    G5 = DFF(G10)
+
+Grammar subset accepted here (everything the ISCAS-85/89 distributions
+use): ``INPUT(net)``, ``OUTPUT(net)`` and ``out = OP(in, ...)`` where
+``OP`` is one of AND / NAND / OR / NOR / NOT / BUFF / XOR / XNOR / DFF
+(case-insensitive; ``BUF`` accepted as an alias). ``#`` starts a
+comment. DFFs power up at 0 — the format does not model reset values,
+and fault grading needs a known start state.
+
+The parser builds an n-ary :class:`~repro.netlist.netlist.Netlist`
+directly (one instance per assignment, named after the driven net) and
+leaves arity reduction to :func:`repro.frontend.lower.lower_gates`, so
+the raw parse stays a faithful record of the file.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist.netlist import Netlist
+
+#: .bench operator -> repro gate type. DFF is handled structurally.
+BENCH_GATE_TYPES = {
+    "AND": "and",
+    "NAND": "nand",
+    "OR": "or",
+    "NOR": "nor",
+    "NOT": "inv",
+    "BUFF": "buf",
+    "BUF": "buf",
+    "XOR": "xor",
+    "XNOR": "xnor",
+}
+
+#: minimum input counts per .bench operator (DFF/NOT/BUFF are unary).
+_MIN_INPUTS = {"NOT": 1, "BUFF": 1, "BUF": 1, "DFF": 1}
+
+_PORT_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^()]*?)\s*\)$"
+)
+
+
+def parse_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ``.bench`` text into an (unlowered, unvalidated) netlist.
+
+    ``name`` becomes the netlist name — the format itself carries none,
+    so callers pass the file stem. Structural errors (double-driven
+    nets, duplicate ports) are reported as :class:`ParseError` with the
+    offending line.
+    """
+    netlist = Netlist(name)
+    declared_outputs: list[str] = []
+    saw_anything = False
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        saw_anything = True
+
+        port = _PORT_RE.match(line)
+        if port is not None:
+            keyword, net = port.group(1).upper(), port.group(2)
+            try:
+                if keyword == "INPUT":
+                    netlist.add_input(net)
+                else:
+                    declared_outputs.append(_checked_output(net, declared_outputs, line_number))
+            except NetlistError as error:
+                raise ParseError(str(error), line_number) from error
+            continue
+
+        assign = _ASSIGN_RE.match(line)
+        if assign is None:
+            raise ParseError(
+                "expected INPUT(net), OUTPUT(net) or net = OP(in, ...)",
+                line_number,
+                _first_token_column(raw_line),
+            )
+        output, op, operand_text = assign.groups()
+        op_upper = op.upper()
+        inputs = [token.strip() for token in operand_text.split(",") if token.strip()]
+        if operand_text.strip() and len(inputs) != operand_text.count(",") + 1:
+            raise ParseError(
+                f"empty operand in {op_upper}(...)",
+                line_number,
+                raw_line.index("(") + 1,
+            )
+
+        if op_upper == "DFF":
+            if len(inputs) != 1:
+                raise ParseError(
+                    f"DFF takes exactly one input, got {len(inputs)}",
+                    line_number,
+                )
+            try:
+                netlist.add_dff(f"ff${output}", inputs[0], output, init=0)
+            except NetlistError as error:
+                raise ParseError(str(error), line_number) from error
+            continue
+
+        gate_type = BENCH_GATE_TYPES.get(op_upper)
+        if gate_type is None:
+            leading = len(raw_line) - len(raw_line.lstrip())
+            raise ParseError(
+                f"unknown .bench operator {op!r} (expected one of "
+                f"{', '.join(sorted(BENCH_GATE_TYPES))} or DFF)",
+                line_number,
+                leading + assign.start(2) + 1,
+            )
+        minimum = _MIN_INPUTS.get(op_upper, 2)
+        if len(inputs) < minimum:
+            raise ParseError(
+                f"{op_upper} needs at least {minimum} input(s), got {len(inputs)}",
+                line_number,
+            )
+        if gate_type in ("buf", "inv") and len(inputs) != 1:
+            raise ParseError(
+                f"{op_upper} takes exactly one input, got {len(inputs)}",
+                line_number,
+            )
+        try:
+            netlist.add_gate(f"g${output}", gate_type, inputs, output)
+        except NetlistError as error:
+            raise ParseError(str(error), line_number) from error
+
+    if not saw_anything:
+        raise ParseError("empty .bench file")
+    for net in declared_outputs:
+        netlist.add_output(net)
+    return netlist
+
+
+def _checked_output(net: str, declared: list, line_number: int) -> str:
+    if net in declared:
+        raise ParseError(f"duplicate OUTPUT({net})", line_number)
+    return net
+
+
+def _first_token_column(raw_line: str) -> int:
+    stripped = raw_line.lstrip()
+    return len(raw_line) - len(stripped) + 1
+
+
+def dumps_bench(netlist: Netlist) -> str:
+    """Serialise a netlist as ``.bench`` text.
+
+    Only the gate types the format names survive (``mux2`` and constant
+    gates have no .bench spelling); used by the corpus generator and the
+    round-trip tests.
+    """
+    reverse = {"and": "AND", "nand": "NAND", "or": "OR", "nor": "NOR",
+               "inv": "NOT", "buf": "BUFF", "xor": "XOR", "xnor": "XNOR"}
+    lines = [f"# {netlist.name}"]
+    for net in netlist.inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    for dff in netlist.dffs.values():
+        lines.append(f"{dff.q} = DFF({dff.d})")
+    for gate in netlist.gates.values():
+        op = reverse.get(gate.gate_type)
+        if op is None:
+            raise ParseError(
+                f"gate type {gate.gate_type!r} has no .bench spelling"
+            )
+        lines.append(f"{gate.output} = {op}({', '.join(gate.inputs)})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""Netlist format auto-detection.
+
+Detection is two-stage: the file extension decides when it is one of
+the registered ones (``.bench``, ``.blif``, ``.bnet``); otherwise the
+content is sniffed — BLIF files open with a dot-directive, ``.bnet``
+files with the ``circuit`` keyword, and ``.bench`` files with
+``INPUT(...)`` / ``name = OP(...)`` lines. Ambiguous content is a
+:class:`ParseError` telling the caller to name the format explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ParseError
+
+#: format name -> file extension(s)
+FORMATS = {
+    "bench": (".bench",),
+    "blif": (".blif",),
+    "bnet": (".bnet",),
+}
+
+#: a valid .bnet file must open with its ``circuit`` line, so only that
+#: keyword discriminates — ``input``/``gate``/``dff`` first tokens are
+#: legal .bench spellings (lowercase ports, nets named after keywords)
+_BNET_KEYWORDS = ("circuit",)
+_BENCH_LINE = re.compile(
+    r"^(INPUT|OUTPUT)\s*\(|^[^\s=]+\s*=\s*[A-Za-z]+\s*\(", re.IGNORECASE
+)
+
+
+def detect_format(
+    path: Optional[Union[str, Path]] = None, text: Optional[str] = None
+) -> str:
+    """Return ``"bench"``, ``"blif"`` or ``"bnet"``.
+
+    ``path`` alone decides via extension when recognised; otherwise (or
+    for unknown extensions) ``text`` is sniffed.
+    """
+    if path is not None:
+        suffix = Path(path).suffix.lower()
+        for format_name, extensions in FORMATS.items():
+            if suffix in extensions:
+                return format_name
+    if text is None:
+        raise ParseError(
+            f"cannot detect netlist format of {path}: unknown extension "
+            f"(expected one of {', '.join(e for v in FORMATS.values() for e in v)})"
+        )
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            return "blif"
+        first = line.split()[0]
+        if first in _BNET_KEYWORDS:
+            return "bnet"
+        if _BENCH_LINE.match(line):
+            return "bench"
+        raise ParseError(
+            "cannot detect netlist format from content; pass the format "
+            "explicitly (bench, blif or bnet)",
+            line_number,
+        )
+    raise ParseError("cannot detect netlist format of an empty file")

@@ -1,0 +1,90 @@
+"""Gate-arity lowering for imported netlists.
+
+Benchmark files use wide gates freely (ISCAS-85 has 9-input NANDs; BLIF
+covers OR dozens of cubes). The repro primitive set is n-ary in the data
+model, but the canonical form the rest of the stack is tuned for — and
+the form the hand-written ITC'99 builders produce — is 2-input gates.
+:func:`lower_gates` rebuilds a netlist so no combinational gate exceeds
+``max_arity`` inputs, decomposing wide gates into balanced trees:
+
+* ``and`` / ``or`` / ``xor`` — a tree of the same type.
+* ``nand`` / ``nor`` / ``xnor`` — a tree of the *de-inverted* type whose
+  root gate carries the inversion (``nand(a,b,c,d)`` becomes
+  ``nand(and(a,b), and(c,d))``), so gate count stays minimal and no
+  trailing inverter is needed.
+* everything else (``buf``, ``inv``, ``mux2``, constants) passes through.
+
+The pass preserves net names (every original net keeps its driver's
+output name), instance insertion order (so flop indexing and scan-chain
+order are untouched — flops are never rewritten), and determinism
+(fresh nets come from :meth:`Netlist.fresh_net` in file order).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+
+#: inverting gate -> the plain gate its internal tree is built from
+_DEINVERTED = {"nand": "and", "nor": "or", "xnor": "xor"}
+_TREE_TYPES = ("and", "or", "xor", "nand", "nor", "xnor")
+
+
+def lower_gates(netlist: Netlist, max_arity: int = 2) -> Netlist:
+    """Return a copy of ``netlist`` with every gate at most ``max_arity``
+    inputs wide. Returns the input unchanged (same object) when nothing
+    needs lowering."""
+    if max_arity < 2:
+        raise NetlistError("lower_gates: max_arity must be at least 2")
+    if all(
+        len(gate.inputs) <= max_arity or gate.gate_type not in _TREE_TYPES
+        for gate in netlist.gates.values()
+    ):
+        return netlist
+
+    lowered = Netlist(netlist.name)
+    for net in netlist.inputs:
+        lowered.add_input(net)
+    for gate in netlist.gates.values():
+        if len(gate.inputs) <= max_arity or gate.gate_type not in _TREE_TYPES:
+            lowered.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output)
+            continue
+        _emit_tree(lowered, gate.name, gate.gate_type, list(gate.inputs),
+                   gate.output, max_arity)
+    for dff in netlist.dffs.values():
+        lowered.add_dff(dff.name, dff.d, dff.q, dff.init)
+    for net in netlist.outputs:
+        lowered.add_output(net)
+    lowered._fresh_counter = max(lowered._fresh_counter, netlist._fresh_counter)
+    return lowered
+
+
+def _emit_tree(
+    netlist: Netlist,
+    name: str,
+    gate_type: str,
+    nets: List[str],
+    output: str,
+    max_arity: int,
+) -> None:
+    """Balanced reduction of ``nets`` down to one root gate driving
+    ``output``; the root keeps the original instance name (and, for
+    inverting types, the inversion)."""
+    inner_type = _DEINVERTED.get(gate_type, gate_type)
+    level = nets
+    counter = 0
+    while len(level) > max_arity:
+        next_level: List[str] = []
+        for start in range(0, len(level), max_arity):
+            chunk = level[start : start + max_arity]
+            if len(chunk) == 1:
+                next_level.append(chunk[0])
+                continue
+            counter += 1
+            fresh = netlist.fresh_net(f"low${output}")
+            netlist.add_gate(f"{name}${counter}", inner_type, chunk, fresh)
+            next_level.append(fresh)
+        level = next_level
+    netlist.add_gate(name, gate_type, level, output)

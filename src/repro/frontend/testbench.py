@@ -1,0 +1,45 @@
+"""Default testbench synthesis for imported circuits.
+
+Hand-registered circuits ship curated stimulus (b14's instruction-shaped
+program bench); a netlist that arrived as a file has none. This module
+synthesizes a deterministic default: a short *walking-ones warmup* that
+touches every primary input (so no input is provably dead stimulus on
+short benches), followed by seeded biased-random vectors.
+
+Everything is drawn from :class:`repro.util.rng.DeterministicRng`
+forked on ``(circuit name, seed)``, so the same file + seed always
+yields the same stimulus — which is what lets
+:meth:`CampaignSpec.oracle_key` treat (content digest, testbench kind,
+seed, cycles) as a complete description of an imported campaign's
+golden run.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.sim.vectors import Testbench
+from repro.util.rng import DeterministicRng
+
+#: fraction of the bench (capped by input count) spent walking a one
+#: across the inputs before random stimulus starts.
+WARMUP_FRACTION = 4
+
+
+def synthesize_testbench(
+    netlist: Netlist,
+    num_cycles: int,
+    seed: int = 0,
+    probability_of_one: float = 0.5,
+) -> Testbench:
+    """Deterministic default stimulus for an imported circuit."""
+    width = len(netlist.inputs)
+    if width == 0:
+        return Testbench([], [0] * num_cycles)
+    rng = DeterministicRng(seed).fork(f"frontend:{netlist.name}")
+    warmup = min(width, num_cycles // WARMUP_FRACTION)
+    vectors = [1 << (cycle % width) for cycle in range(warmup)]
+    vectors.extend(
+        rng.word(width, probability_of_one)
+        for _ in range(num_cycles - warmup)
+    )
+    return Testbench(list(netlist.inputs), vectors)

@@ -1,6 +1,6 @@
 """The ``python -m repro`` command line.
 
-Five subcommands replace the plumbing the example scripts used to carry:
+The subcommands replace the plumbing the example scripts used to carry:
 
 * ``run``    — one campaign: build a spec, grade it sharded (resuming
   from ``runs/<campaign-id>/`` when present), print the paper-style
@@ -13,6 +13,8 @@ Five subcommands replace the plumbing the example scripts used to carry:
   speedup, Figure 1, optional crossover) for any registered circuit.
 * ``sampling-error`` — sampled vs exhaustive classification rates with
   interval-coverage checks (``eval/sampling_error.py``).
+* ``circuits`` — every registered + corpus circuit with its size
+  statistics (``--json`` for machines).
 * ``bench``  — wall-clock of the sharded runner at several worker
   counts; the orchestration-overhead row of the perf trajectory.
 
@@ -68,7 +70,10 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, single: bool) -> None:
     """
     if single:
         parser.add_argument(
-            "--circuit", default="b14", help="registered circuit name"
+            "--circuit",
+            default="b14",
+            help="registered circuit name (also corpus:<name> or "
+            "file:<path> for imported netlists)",
         )
         parser.add_argument(
             "--technique",
@@ -417,6 +422,49 @@ def _cmd_sampling_error(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    from repro.circuits.registry import available_circuits, build_circuit
+    from repro.frontend.corpus import corpus_names
+    from repro.netlist.stats import netlist_stats
+    from repro.util.tables import Table
+
+    names = list(available_circuits())
+    names += [f"corpus:{name}" for name in corpus_names()]
+    rows = []
+    for name in names:
+        stats = netlist_stats(build_circuit(name))
+        rows.append(
+            {
+                "circuit": name,
+                "inputs": stats.num_inputs,
+                "outputs": stats.num_outputs,
+                "gates": stats.num_gates,
+                "flops": stats.num_ffs,
+                "depth": stats.logic_depth,
+                "max_fanout": stats.max_fanout,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = Table(
+        ["circuit", "inputs", "outputs", "gates", "flops", "depth",
+         "max fanout"],
+        title="Registered + corpus circuits",
+    )
+    for row in rows:
+        table.add_row(
+            [row["circuit"], row["inputs"], row["outputs"], row["gates"],
+             row["flops"], row["depth"], row["max_fanout"]]
+        )
+    print(table.render())
+    print(
+        "\nparameterized families: proc:<flops>, corpus:<name>, "
+        "file:<path> (.bench / .blif / .bnet)"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.util.tables import Table
 
@@ -569,6 +617,15 @@ def build_parser() -> argparse.ArgumentParser:
     sampling_parser.add_argument("--confidence", type=float, default=0.95)
     _add_runner_arguments(sampling_parser)
     sampling_parser.set_defaults(func=_cmd_sampling_error)
+
+    circuits_parser = commands.add_parser(
+        "circuits",
+        help="list registered + corpus circuits with size statistics",
+    )
+    circuits_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    circuits_parser.set_defaults(func=_cmd_circuits)
 
     bench_parser = commands.add_parser(
         "bench", help="time the sharded runner at several worker counts"

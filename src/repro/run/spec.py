@@ -23,7 +23,7 @@ import re
 from dataclasses import dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.circuits.registry import build_circuit
+from repro.circuits.registry import build_circuit, circuit_source_path
 from repro.emu.board import BoardModel, board_by_name
 from repro.emu.instrument import TECHNIQUES
 from repro.errors import CampaignError
@@ -41,8 +41,9 @@ from repro.sim.vectors import (
 )
 
 #: Stimulus generators a spec may name. ``auto`` resolves per circuit:
-#: the paper's instruction-shaped program bench for b14, random stimulus
-#: otherwise.
+#: the paper's instruction-shaped program bench for b14, the frontend's
+#: synthesized default for imported (``file:``/``corpus:``) circuits,
+#: random stimulus otherwise.
 TESTBENCH_KINDS = (
     "auto",
     "program",
@@ -50,6 +51,7 @@ TESTBENCH_KINDS = (
     "burst",
     "walking_ones",
     "constant",
+    "imported",
 )
 
 #: Default testbench lengths when a spec leaves ``num_cycles`` unset:
@@ -69,13 +71,19 @@ class Scenario:
 
 
 def default_testbench_for(
-    netlist: Netlist, num_cycles: Optional[int] = None, seed: int = 0
+    netlist: Netlist,
+    num_cycles: Optional[int] = None,
+    seed: int = 0,
+    circuit: Optional[str] = None,
 ) -> Testbench:
     """Default stimulus for a circuit *object*, by the same rule specs
     use for circuit names: b14 gets the paper's instruction-shaped
-    program bench at paper length, everything else random stimulus.
-    Keeps the explicit-netlist eval path and the spec path agreeing on
-    what "default" means for one circuit.
+    program bench at paper length; imported circuits (recognisable only
+    when the caller passes the registry ``circuit`` name, e.g.
+    ``corpus:s344``) get the frontend's synthesized stimulus; everything
+    else — including ad-hoc netlist objects with no name — random
+    stimulus. Keeps the explicit-netlist eval path and the spec path
+    agreeing on what "default" means for one named circuit.
     """
     cycles = (
         num_cycles
@@ -86,6 +94,10 @@ def default_testbench_for(
         from repro.circuits.itc99.b14 import b14_program_testbench
 
         return b14_program_testbench(netlist, cycles, seed=seed)
+    if circuit is not None and circuit.startswith(("file:", "corpus:")):
+        from repro.frontend import synthesize_testbench
+
+        return synthesize_testbench(netlist, cycles, seed=seed)
     return random_testbench(netlist, cycles, seed=seed)
 
 
@@ -150,11 +162,18 @@ class CampaignSpec:
             return self.num_cycles
         return PAPER_CYCLES.get(self.circuit, DEFAULT_CYCLES)
 
+    def is_imported(self) -> bool:
+        """True when the circuit comes from a netlist file (``file:`` or
+        ``corpus:``) rather than a registered builder."""
+        return self.circuit.startswith(("file:", "corpus:"))
+
     def resolved_testbench_kind(self) -> str:
         """Testbench kind after resolving ``auto``."""
         if self.testbench != "auto":
             return self.testbench
-        return "program" if self.circuit == "b14" else "random"
+        if self.circuit == "b14":
+            return "program"
+        return "imported" if self.is_imported() else "random"
 
     def board_model(self) -> BoardModel:
         return board_by_name(self.board)
@@ -174,6 +193,10 @@ class CampaignSpec:
             from repro.circuits.itc99.b14 import b14_program_testbench
 
             return b14_program_testbench(netlist, cycles, seed=self.seed)
+        if kind == "imported":
+            from repro.frontend import synthesize_testbench
+
+            return synthesize_testbench(netlist, cycles, seed=self.seed)
         if kind == "random":
             return random_testbench(netlist, cycles, seed=self.seed)
         if kind == "burst":
@@ -196,6 +219,17 @@ class CampaignSpec:
         faults = self.fault_model_obj().population(
             netlist, self.resolved_cycles()
         )
+        if not faults:
+            # Fail here, where the cause is nameable, instead of letting
+            # a zero-fault campaign die deep in the emulation accounting
+            # (combinational imports — e.g. the ISCAS-85 corpus entries —
+            # have no flip-flops, so every flop-based model is empty).
+            raise CampaignError(
+                f"fault model {self.fault_model!r} has an empty population "
+                f"on circuit {self.circuit!r} ({netlist.num_ffs} flip-flops, "
+                f"{self.resolved_cycles()} cycles); combinational circuits "
+                "can be listed and simulated but not campaign-graded"
+            )
         if self.sample is not None:
             faults = draw_sample(
                 faults, self.sample, seed=self.seed, method=self.sampling
@@ -237,8 +271,14 @@ class CampaignSpec:
         fail/vanish cycles (all grading engines are bit-identical, and the
         other three only affect accounting), so campaigns differing only
         in those share one oracle — and one results store.
+
+        For imported (``file:``/``corpus:``) circuits the key also
+        carries a content digest of the netlist file: a circuit *name*
+        no longer pins the circuit, so re-importing an unchanged file
+        resumes the same store while any edit to the file changes the
+        key (and therefore the campaign id) and regrades from scratch.
         """
-        return {
+        key = {
             "circuit": self.circuit,
             "testbench": self.resolved_testbench_kind(),
             "num_cycles": self.resolved_cycles(),
@@ -247,6 +287,21 @@ class CampaignSpec:
             "fault_model": self.fault_model,
             "sampling": self.sampling,
         }
+        digest = self.circuit_digest()
+        if digest is not None:
+            key["circuit_digest"] = digest
+        return key
+
+    def circuit_digest(self) -> Optional[str]:
+        """Content hash of the netlist file behind an imported circuit
+        (``None`` for registered builders, whose identity is their
+        name)."""
+        source = circuit_source_path(self.circuit)
+        if source is None:
+            return None
+        from repro.frontend import netlist_file_digest
+
+        return netlist_file_digest(source)
 
     def fault_key(self) -> Dict:
         """The fields determining *which faults* a campaign injects.

@@ -21,7 +21,7 @@ measure cold paths).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 from weakref import WeakKeyDictionary
 
 from repro.netlist.netlist import Netlist
@@ -30,7 +30,7 @@ from repro.sim.cycle import GoldenTrace, run_golden
 from repro.sim.vectors import Testbench
 
 _COMPILED: "WeakKeyDictionary[Netlist, CompiledNetlist]" = WeakKeyDictionary()
-_GOLDEN: "WeakKeyDictionary[Netlist, Dict[Tuple[int, ...], GoldenTrace]]" = (
+_GOLDEN: "WeakKeyDictionary[Netlist, Dict[str, GoldenTrace]]" = (
     WeakKeyDictionary()
 )
 
@@ -57,10 +57,14 @@ def golden_for(compiled: CompiledNetlist, testbench: Testbench) -> GoldenTrace:
 
     Cached per source netlist and exact stimulus, so campaigns, eval
     tables and benchmarks sharing one circuit/testbench pay for a single
-    golden run per session.
+    golden run per session. The stimulus key is
+    :meth:`Testbench.stimulus_digest` — computed once per testbench
+    object and memoized there — rather than a per-lookup
+    ``tuple(vectors)`` (which rebuilt and re-hashed the entire stimulus,
+    thousands of ints for paper-scale benches, on every cache hit).
     """
     per_netlist = _GOLDEN.setdefault(compiled.source, {})
-    key = tuple(testbench.vectors)
+    key = testbench.stimulus_digest()
     try:
         return per_netlist[key]
     except KeyError:

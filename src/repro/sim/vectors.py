@@ -8,6 +8,7 @@ reproducible random and structured stimulus.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Sequence
 
@@ -67,6 +68,30 @@ class Testbench:
     def truncated(self, cycles: int) -> "Testbench":
         """A copy with only the first ``cycles`` vectors."""
         return Testbench(list(self.input_names), list(self.vectors[:cycles]))
+
+    def stimulus_digest(self) -> str:
+        """Stable content hash of (input names, vectors), memoized on the
+        object.
+
+        The golden-trace cache keys on this instead of materialising a
+        ``tuple(vectors)`` mega-key per lookup, so the digest is computed
+        once per testbench object no matter how many campaigns reuse it.
+        Like the netlist caches, this treats a testbench as frozen once
+        simulation starts: mutate ``vectors`` afterwards and the memo
+        (and any cached golden trace) goes stale.
+        """
+        digest = self.__dict__.get("_stimulus_digest")
+        if digest is None:
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update(b"%d\x1f" % len(self.input_names))
+            hasher.update("\x1f".join(self.input_names).encode("utf-8"))
+            hasher.update(b"\x00")  # terminate the names section: a name
+            # ending in hex digits must not absorb vector framing
+            for vector in self.vectors:
+                hasher.update(b"%x/" % vector)
+            digest = hasher.hexdigest()
+            self.__dict__["_stimulus_digest"] = digest
+        return digest
 
 
 def random_testbench(

@@ -1,0 +1,146 @@
+"""Unit tests for the ISCAS-89 ``.bench`` parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import load_netlist
+from repro.frontend.bench import dumps_bench, parse_bench
+
+C17 = """\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+S27_FRAGMENT = """\
+INPUT(G0)
+OUTPUT(G17)
+G5 = DFF(G10)
+G10 = NOR(G14, G17)
+G14 = NOT(G0)
+G17 = NOT(G5)
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        netlist = parse_bench(C17, name="c17")
+        assert netlist.name == "c17"
+        assert netlist.inputs == ["1", "2", "3", "6", "7"]
+        assert netlist.outputs == ["22", "23"]
+        assert netlist.num_gates == 6
+        assert all(g.gate_type == "nand" for g in netlist.gates.values())
+
+    def test_load_netlist_attaches_outputs_and_validates(self):
+        netlist = load_netlist(C17, name="c17")
+        assert netlist.outputs == ["22", "23"]
+
+    def test_dff_and_forward_references(self):
+        netlist = load_netlist(S27_FRAGMENT, name="frag")
+        assert set(netlist.dffs) == {"ff$G5"}
+        assert netlist.dffs["ff$G5"].d == "G10"
+        assert netlist.dffs["ff$G5"].init == 0
+
+    def test_case_insensitive_and_buf_alias(self):
+        netlist = load_netlist(
+            "input(a)\noutput(y)\nn1 = not(a)\ny = buff(n1)\n", name="t"
+        )
+        types = sorted(g.gate_type for g in netlist.gates.values())
+        assert types == ["buf", "inv"]
+
+    def test_lowercase_ports_auto_detect_as_bench(self):
+        # 'input' is also a .bnet keyword; only 'circuit' may claim bnet
+        netlist = load_netlist(
+            "input (1)\ninput (2)\noutput (3)\n3 = and(1, 2)\n", name="t"
+        )
+        assert netlist.inputs == ["1", "2"]
+        assert netlist.num_gates == 1
+
+    def test_comments_and_blank_lines(self):
+        netlist = load_netlist(
+            "# header\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n",
+            name="t",
+        )
+        assert netlist.num_gates == 1
+
+    def test_wide_gates_are_lowered(self):
+        text = (
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+            "OUTPUT(y)\ny = OR(a, b, c, d, e)\n"
+        )
+        netlist = load_netlist(text, name="t")
+        assert all(len(g.inputs) <= 2 for g in netlist.gates.values())
+        # the root keeps the inversion-free type and the driven net
+        assert netlist.driver_of("y").gate_type == "or"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, line, fragment",
+        [
+            ("INPUT(a)\ngarbage line\n", 2, "expected INPUT"),
+            ("INPUT(a)\ny = FROB(a, a)\n", 2, "unknown .bench operator"),
+            ("INPUT(a)\ny = NOT(a, a)\n", 2, "exactly one"),
+            ("INPUT(a)\ny = AND(a)\n", 2, "at least 2"),
+            ("INPUT(a)\ny = DFF(a, a)\n", 2, "DFF takes exactly one"),
+            ("INPUT(a)\nINPUT(a)\n", 2, "already driven"),
+            ("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\n", 3, "duplicate OUTPUT"),
+            ("INPUT(a)\ny = AND(a,, a)\n", 2, "empty operand"),
+        ],
+    )
+    def test_parse_errors_carry_line(self, text, line, fragment):
+        with pytest.raises(ParseError, match=fragment) as info:
+            load_netlist(text, fmt="bench", name="t")
+        assert info.value.line == line
+
+    def test_column_reported_for_bad_keyword(self):
+        with pytest.raises(ParseError) as info:
+            load_netlist("   garbage here\n", fmt="bench", name="t")
+        assert info.value.column == 4
+        assert "column 4" in str(info.value)
+
+    def test_column_points_at_operator_not_first_occurrence(self):
+        # 'FO' also appears inside the LHS name 'FOO'; the diagnostic
+        # must point at the operator token, not the first substring hit
+        with pytest.raises(ParseError) as info:
+            load_netlist("INPUT(a)\n  FOO = FO(a, a)\n", fmt="bench", name="t")
+        assert info.value.line == 2
+        assert info.value.column == 9
+
+    def test_empty_file(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_bench("# only a comment\n")
+
+    def test_undriven_net_is_parse_error(self):
+        with pytest.raises(ParseError, match="undriven"):
+            load_netlist("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", name="t")
+
+
+class TestDumps:
+    def test_bench_roundtrip(self):
+        original = load_netlist(C17, name="c17")
+        again = load_netlist(dumps_bench(original), fmt="bench", name="c17")
+        assert set(again.gates) == set(original.gates)
+        assert again.inputs == original.inputs
+        assert again.outputs == original.outputs
+
+    def test_unrepresentable_gate_rejected(self):
+        from repro.netlist.builder import NetlistBuilder
+
+        builder = NetlistBuilder("m")
+        select = builder.input("s")
+        builder.output_net("y", builder.mux(select, builder.input("a"),
+                                            builder.input("b")))
+        with pytest.raises(ParseError, match="no .bench spelling"):
+            dumps_bench(builder.build())

@@ -1,0 +1,155 @@
+"""Unit tests for the structural BLIF parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import load_netlist
+from repro.frontend.blif import parse_blif
+from repro.logic.values import X
+from repro.sim.cycle import CycleSimulator
+
+TINY = """\
+.model tiny
+.inputs a b c
+.outputs y
+.latch n2 q re clk 0
+.names a b n1
+11 1
+.names n1 c q y
+1-- 1
+-11 1
+.names a n2
+0 1
+.end
+"""
+
+
+def _truth(text: str, inputs: int):
+    """Evaluate a purely combinational BLIF single-output model."""
+    netlist = load_netlist(text, fmt="blif")
+    sim = CycleSimulator(netlist)
+    return [sim.step(vector) for vector in range(1 << inputs)]
+
+
+class TestParse:
+    def test_model_name_and_structure(self):
+        netlist = load_netlist(TINY)
+        assert netlist.name == "tiny"
+        assert netlist.inputs == ["a", "b", "c"]
+        assert netlist.outputs == ["y"]
+        assert set(netlist.dffs) == {"ff$q"}
+        assert netlist.dffs["ff$q"].init == 0
+
+    def test_and_cover(self):
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"
+        assert _truth(text, 2) == [0, 0, 0, 1]
+
+    def test_or_cover(self):
+        text = (
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n"
+        )
+        assert _truth(text, 2) == [0, 1, 1, 1]
+
+    def test_off_set_cover_is_complemented(self):
+        # NAND expressed as the off-set: output 0 exactly when a=b=1
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+        assert _truth(text, 2) == [1, 1, 1, 0]
+
+    def test_inverted_literals(self):
+        # y = a AND NOT b
+        text = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n.end\n"
+        assert _truth(text, 2) == [0, 1, 0, 0]
+
+    def test_buffer_and_inverter_rows(self):
+        buf = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+        inv = ".model m\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n"
+        assert _truth(buf, 1) == [0, 1]
+        assert _truth(inv, 1) == [1, 0]
+
+    def test_constants(self):
+        one = ".model m\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        zero = ".model m\n.inputs a\n.outputs y\n.names y\n.end\n"
+        assert _truth(one, 1) == [1, 1]
+        assert _truth(zero, 1) == [0, 0]
+
+    def test_line_continuation(self):
+        text = (
+            ".model m\n.inputs a \\\n  b\n.outputs y\n"
+            ".names a b y\n11 1\n.end\n"
+        )
+        netlist = load_netlist(text)
+        assert netlist.inputs == ["a", "b"]
+
+    def test_inverters_deduplicated_across_covers(self):
+        # 'a' is tested in the 0 polarity three times across two covers;
+        # the file-wide memo must emit exactly one inverter for it
+        text = (
+            ".model m\n.inputs a b\n.outputs y z\n"
+            ".names a b y\n00 1\n01 1\n"
+            ".names a z\n0 1\n"
+            ".end\n"
+        )
+        netlist = load_netlist(text)
+        inverter_sources = [
+            gate.inputs[0]
+            for gate in netlist.gates.values()
+            if gate.gate_type == "inv"
+        ]
+        assert inverter_sources.count("a") == 1
+        assert inverter_sources.count("b") == 1
+
+    def test_latch_forms_and_init(self):
+        text = (
+            ".model m\n.inputs d\n.outputs q0 q1 q2 q3\n"
+            ".latch d q0\n"
+            ".latch d q1 1\n"
+            ".latch d q2 re clk\n"
+            ".latch d q3 fe clk 3\n"
+            ".end\n"
+        )
+        netlist = load_netlist(text)
+        inits = {dff.q: dff.init for dff in netlist.dffs.values()}
+        # unspecified / don't-care / unknown all power up at 0 (documented
+        # deviation: grading needs a known start state); explicit 1 survives
+        assert inits == {"q0": 0, "q1": 1, "q2": 0, "q3": 0}
+        assert X not in inits.values()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text, line, fragment",
+        [
+            (".model a\n.model b\n", 2, "second .model"),
+            (".model m\n.subckt sub a=b\n", 2, "not supported"),
+            (".model m\n.frobnicate\n", 2, "unknown directive"),
+            (".model m\n.inputs a\n.latch a q ah ctl\n", 3, "level-sensitive"),
+            (".model m\n.inputs a\n.latch a q 7\n", 3, "bad latch init"),
+            (".model m\n.inputs a\n.latch a\n", 3, "expected: .latch"),
+            (".model m\n.inputs a\nstray row\n", 3, "outside a .names"),
+            (".model m\n.inputs a\n.names a y\n2 1\n", 4, "bad cover literal"),
+            (".model m\n.inputs a b\n.names a b y\n1 1\n", 4, "1 literals"),
+            (".model m\n.inputs a\n.names a y\n1 1\n0 0\n", 5, "mixes on-set"),
+            (".model m\n.inputs a\n.end\n.names a y\n", 4, "after .end"),
+        ],
+    )
+    def test_parse_errors_carry_line(self, text, line, fragment):
+        with pytest.raises(ParseError, match=fragment) as info:
+            parse_blif(text)
+        assert info.value.line == line
+
+    def test_cover_literal_column(self):
+        with pytest.raises(ParseError) as info:
+            parse_blif(".model m\n.inputs a b\n.names a b y\n1x 1\n")
+        assert info.value.column == 2
+
+    def test_empty_file(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_blif("# nothing\n")
+
+    def test_double_driven_net(self):
+        text = (
+            ".model m\n.inputs a\n.names a y\n1 1\n.names a y\n0 1\n.end\n"
+        )
+        with pytest.raises(ParseError, match="duplicate instance") as info:
+            parse_blif(text)
+        assert info.value.line == 5

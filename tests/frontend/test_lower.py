@@ -1,0 +1,53 @@
+"""Unit tests for the gate-arity lowering pass."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.frontend.lower import lower_gates
+from repro.logic.tables import eval_gate
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.sim.cycle import CycleSimulator
+
+
+def _wide(gate_type: str, arity: int) -> Netlist:
+    netlist = Netlist(f"wide_{gate_type}")
+    nets = [netlist.add_input(f"i{i}") for i in range(arity)]
+    netlist.add_gate("g", gate_type, nets, "y")
+    netlist.add_output("y")
+    return netlist
+
+
+@pytest.mark.parametrize(
+    "gate_type", ["and", "or", "xor", "nand", "nor", "xnor"]
+)
+@pytest.mark.parametrize("arity", [3, 5, 8])
+def test_lowered_tree_is_functionally_identical(gate_type, arity):
+    lowered = lower_gates(_wide(gate_type, arity))
+    assert all(len(g.inputs) <= 2 for g in lowered.gates.values())
+    assert lowered.driver_of("y").name == "g"  # root keeps the instance name
+    sim = CycleSimulator(lowered)
+    for vector in range(1 << arity):
+        bits = [(vector >> i) & 1 for i in range(arity)]
+        assert sim.step(vector) == eval_gate(gate_type, bits), (vector, bits)
+
+
+def test_narrow_netlist_is_returned_unchanged():
+    netlist = _wide("and", 2)
+    assert lower_gates(netlist) is netlist
+
+
+def test_wide_mux_free_passthrough_is_identity():
+    # mux2 is 3-input but not a tree type: must not defeat the no-op path
+    builder = NetlistBuilder("m")
+    select = builder.input("s")
+    builder.output_net(
+        "y", builder.mux(select, builder.input("a"), builder.input("b"))
+    )
+    netlist = builder.build()
+    assert lower_gates(netlist) is netlist
+
+
+def test_bad_max_arity_rejected():
+    with pytest.raises(NetlistError, match="max_arity"):
+        lower_gates(_wide("and", 3), max_arity=1)

@@ -1,0 +1,59 @@
+"""Tests for the session caches (digest-keyed golden traces)."""
+
+from repro.sim.cache import clear_caches, compiled_for, golden_for
+from repro.sim.vectors import Testbench, random_testbench
+from tests.conftest import build_counter
+
+
+class TestStimulusDigest:
+    def test_memoized_on_object(self):
+        netlist = build_counter(4)
+        bench = random_testbench(netlist, 32, seed=1)
+        first = bench.stimulus_digest()
+        assert bench.__dict__["_stimulus_digest"] == first
+        assert bench.stimulus_digest() is first  # memo hit, not recompute
+
+    def test_equal_stimulus_equal_digest(self):
+        netlist = build_counter(4)
+        one = random_testbench(netlist, 32, seed=1)
+        two = random_testbench(netlist, 32, seed=1)
+        other = random_testbench(netlist, 32, seed=2)
+        assert one.stimulus_digest() == two.stimulus_digest()
+        assert one.stimulus_digest() != other.stimulus_digest()
+
+    def test_digest_depends_on_names_and_vectors(self):
+        plain = Testbench(["a", "b"], [1, 2, 3])
+        renamed = Testbench(["a", "c"], [1, 2, 3])
+        shifted = Testbench(["a", "b"], [1, 2, 2])
+        assert plain.stimulus_digest() != renamed.stimulus_digest()
+        assert plain.stimulus_digest() != shifted.stimulus_digest()
+
+    def test_framing_is_unambiguous(self):
+        # [0x12] vs [0x1, 0x2]: a naive concatenation would collide
+        one = Testbench(["a", "b", "c", "d", "e"], [0x12])
+        two = Testbench(["a", "b", "c", "d", "e"], [0x1, 0x2])
+        assert one.stimulus_digest() != two.stimulus_digest()
+
+    def test_names_vectors_boundary_is_unambiguous(self):
+        # a name ending in hex/'/' must not absorb vector framing
+        one = Testbench(["n"], [1, 0])
+        two = Testbench(["n1/"], [0])
+        assert one.stimulus_digest() != two.stimulus_digest()
+
+
+class TestGoldenCache:
+    def test_identical_stimulus_shares_one_trace(self):
+        clear_caches()
+        netlist = build_counter(4)
+        compiled = compiled_for(netlist)
+        one = random_testbench(netlist, 32, seed=1)
+        two = random_testbench(netlist, 32, seed=1)
+        assert golden_for(compiled, one) is golden_for(compiled, two)
+
+    def test_different_stimulus_distinct_traces(self):
+        clear_caches()
+        netlist = build_counter(4)
+        compiled = compiled_for(netlist)
+        one = golden_for(compiled, random_testbench(netlist, 32, seed=1))
+        two = golden_for(compiled, random_testbench(netlist, 32, seed=2))
+        assert one is not two
