@@ -1,82 +1,45 @@
 #!/usr/bin/env python3
-"""Evaluating a hardened design — the workflow the paper motivates.
+"""Evaluating hardened designs — the workflow the paper motivates.
 
-Fault-tolerance evaluation exists to answer: did my hardening work? This
-example builds the same datapath twice — plain, and with its state
-register protected by triple modular redundancy (TMR, majority-voted
-flip-flop triplication) — and grades the complete single-fault set on
-both. The TMR version should convert almost every failing upset into a
-silent one, and the report quantifies exactly that, plus the area price
-of the protection.
+Fault-tolerance evaluation exists to answer: did my hardening work, and
+what did it cost? The :mod:`repro.hardening` transforms generate the
+protected versions automatically (TMR masks, DWC and parity detect), and
+the hardness report grades plain vs hardened over any fault model:
+
+    python -m repro report --hardness --circuit b04
+    python -m repro harden --circuit b04 --scheme tmr -o b04_tmr.bnet
+
+This example is the library-API spelling of the same workflow, plus a
+taste of *selective* hardening (protect only part of the state and pay
+only part of the area).
 
 Run:  python examples/hardened_vs_unhardened.py
 """
 
-from repro import grade_faults, random_testbench
-from repro.faults.classify import FaultClass
-from repro.faults.model import exhaustive_fault_list
-from repro.netlist.builder import NetlistBuilder
+from repro.circuits.registry import build_circuit
+from repro.eval.hardness import run_hardness_experiment
+from repro.hardening import harden_tmr
 from repro.synth import area_of
 
 
-def build_datapath(hardened: bool):
-    """A 8-bit running-xor datapath; optionally TMR-protected."""
-    b = NetlistBuilder("tmr_datapath" if hardened else "plain_datapath")
-    data = b.inputs("data", 8)
-
-    state_bits = []
-    if not hardened:
-        for i in range(8):
-            d_net = b.netlist.fresh_net(f"d{i}")
-            q = b.dff(d_net, q=f"state[{i}]", init=0, name=f"ff$state[{i}]")
-            state_bits.append((q, d_net))
-    else:
-        for i in range(8):
-            d_net = b.netlist.fresh_net(f"d{i}")
-            copies = [
-                b.dff(d_net, init=0, name=f"ff$state{copy}[{i}]")
-                for copy in range(3)
-            ]
-            # majority vote: ab | bc | ac
-            voted = b.or_(
-                b.and_(copies[0], copies[1]),
-                b.and_(copies[1], copies[2]),
-                b.and_(copies[0], copies[2]),
-                out=f"state[{i}]",
-            )
-            state_bits.append((voted, d_net))
-
-    # next state: rotate left then xor with input
-    for i in range(8):
-        voted_q, d_net = state_bits[i]
-        rotated = state_bits[(i - 1) % 8][0]
-        b.xor_(rotated, data[i], out=d_net)
-    b.outputs("out", [q for q, _ in state_bits])
-    return b.build()
-
-
-def grade(circuit, cycles=96):
-    bench = random_testbench(circuit, cycles, seed=11)
-    faults = exhaustive_fault_list(circuit, cycles)
-    result = grade_faults(circuit, bench, faults)
-    return result.to_dictionary(), len(faults)
-
-
 def main():
-    for hardened in (False, True):
-        circuit = build_datapath(hardened)
-        area = area_of(circuit)
-        dictionary, num_faults = grade(circuit)
-        counts = dictionary.counts()
-        failure_pct = 100 * counts[FaultClass.FAILURE] / num_faults
-        label = "TMR-hardened" if hardened else "unprotected"
-        print(f"{label:14} {area.luts:3} LUTs, {area.ffs:2} FFs | "
-              f"{num_faults} faults: "
-              f"{failure_pct:5.1f}% failure, "
-              f"{100 * counts[FaultClass.LATENT] / num_faults:4.1f}% latent, "
-              f"{100 * counts[FaultClass.SILENT] / num_faults:4.1f}% silent")
-    print("\nTMR should drive the failure rate to (near) zero: any single "
-          "flipped copy is outvoted and overwritten on the next cycle.")
+    # Plain vs TMR vs DWC vs parity, complete single-fault set on b04.
+    report = run_hardness_experiment(
+        "b04", schemes=("tmr", "dwc", "parity"), fault_models=("seu",)
+    )
+    print(report.render())
+
+    # Selective hardening: triplicate only the first 16 flops.
+    plain = build_circuit("b04")
+    subset = plain.ff_names()[:16]
+    partial = harden_tmr(plain, flops=subset)
+    overhead = area_of(partial).overhead_vs(area_of(plain))
+    print(
+        f"\nselective TMR ({len(subset)}/{plain.num_ffs} flops): "
+        f"{overhead.lut_overhead_pct:+.0f}% LUTs, "
+        f"{overhead.ff_overhead_pct:+.0f}% FFs "
+        "— protection scales with the protected subset"
+    )
 
 
 if __name__ == "__main__":

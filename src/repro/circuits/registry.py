@@ -50,7 +50,13 @@ def available_circuits() -> List[str]:
 def circuit_source_path(name: str) -> Optional[str]:
     """The netlist file behind a ``file:``/``corpus:`` circuit name, or
     ``None`` for built circuits. Campaign specs content-hash this file
-    into their oracle identity."""
+    into their oracle identity. ``hardened:<scheme>:<base>`` delegates to
+    its base circuit — the transform is deterministic, so the base file
+    pins the hardened netlist too."""
+    if name.startswith("hardened:"):
+        from repro.hardening import split_hardened_name
+
+        return circuit_source_path(split_hardened_name(name)[1])
     if name.startswith("file:"):
         return name.split(":", 1)[1]
     if name.startswith("corpus:"):
@@ -71,9 +77,17 @@ def build_circuit(name: str) -> Netlist:
     * ``file:<path>`` — any netlist file the frontend can import
       (``.bench``, BLIF, ``.bnet``; format auto-detected);
     * ``corpus:<name>`` — a bundled benchmark from
-      :mod:`repro.frontend.corpus` (e.g. ``corpus:s298``).
+      :mod:`repro.frontend.corpus` (e.g. ``corpus:s298``);
+    * ``hardened:<scheme>:<base>`` — any of the above protected by a
+      :mod:`repro.hardening` transform (e.g. ``hardened:tmr:b04``,
+      ``hardened:dwc:corpus:s298``).
     """
     _populate()
+    if name.startswith("hardened:"):
+        from repro.hardening import apply_hardening, split_hardened_name
+
+        scheme, base = split_hardened_name(name)
+        return apply_hardening(scheme, build_circuit(base))
     if name.startswith("proc:"):
         from repro.circuits import generators
 
@@ -96,7 +110,7 @@ def build_circuit(name: str) -> Netlist:
     except KeyError:
         raise ReproError(
             f"unknown circuit {name!r}; available: {', '.join(available_circuits())}"
-            " (plus the parameterized proc:<flops>, corpus:<name> and "
-            "file:<path> families)"
+            " (plus the parameterized proc:<flops>, corpus:<name>, "
+            "file:<path> and hardened:<scheme>:<circuit> families)"
         ) from None
     return factory()

@@ -39,6 +39,10 @@ class CampaignError(ReproError):
     """A fault-injection campaign was misconfigured or failed."""
 
 
+class HardeningError(ReproError):
+    """A hardening transform was misconfigured or could not be applied."""
+
+
 class ParseError(ReproError):
     """A textual netlist / stimulus file could not be parsed.
 

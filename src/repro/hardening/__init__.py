@@ -1,0 +1,72 @@
+"""Automatic hardening transforms (TMR / DWC / parity).
+
+The paper's accelerator exists to *compare* circuit versions: how much
+less sensitive is a protected design, and at what area cost? This package
+supplies the protected versions: pure netlist -> netlist transforms that
+triplicate, duplicate or parity-guard any subset of a circuit's
+flip-flops, producing netlists that validate, instrument, synthesize and
+grade exactly like hand-written ones.
+
+Schemes compose with the whole stack by name:
+
+* registry: ``build_circuit("hardened:tmr:b04")``,
+  ``"hardened:dwc:corpus:s298"``;
+* campaign specs / CLI: ``CampaignSpec(circuit="b04", hardening="tmr")``,
+  ``python -m repro run --circuit b04 --hardening tmr``;
+* reporting: ``python -m repro report --hardness --circuit b04``
+  (:mod:`repro.eval.hardness`), ``python -m repro harden`` to emit the
+  transformed netlist itself.
+
+See ``docs/hardening.md`` for semantics and the measurement story.
+"""
+
+from repro.hardening.base import (
+    HardeningScheme,
+    apply_hardening,
+    available_schemes,
+    get_hardening_scheme,
+    register_scheme,
+    split_hardened_name,
+)
+from repro.hardening.dwc import harden_dwc
+from repro.hardening.parity import harden_parity
+from repro.hardening.tmr import harden_tmr
+
+register_scheme(
+    "tmr",
+    "triple modular redundancy with voted feedback: single upsets are "
+    "masked and scrubbed (silent)",
+    harden_tmr,
+)
+register_scheme(
+    "tmr_unvoted",
+    "triple modular redundancy with per-copy feedback cones: single "
+    "upsets are masked at the outputs but persist in their copy (latent)",
+    lambda netlist, flops=None, name=None: harden_tmr(
+        netlist, flops=flops, name=name, voted_feedback=False
+    ),
+)
+register_scheme(
+    "dwc",
+    "duplication with comparison: divergence raises a dwc_err output "
+    "(detection, not masking)",
+    harden_dwc,
+)
+register_scheme(
+    "parity",
+    "stored parity bit over the protected register: odd-sized upsets "
+    "raise a parity_err output",
+    harden_parity,
+)
+
+__all__ = [
+    "HardeningScheme",
+    "apply_hardening",
+    "available_schemes",
+    "get_hardening_scheme",
+    "harden_dwc",
+    "harden_parity",
+    "harden_tmr",
+    "register_scheme",
+    "split_hardened_name",
+]

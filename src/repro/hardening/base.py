@@ -1,0 +1,239 @@
+"""Hardening-scheme interface and registry.
+
+A *hardening scheme* is a pure netlist -> netlist transform that adds
+fault-tolerance structure (redundant flip-flops, voters, checkers) around
+a subset of a circuit's state. Schemes register by name so campaign
+specs, the circuit registry (``hardened:<scheme>:<base>``) and the CLI
+(``--hardening`` / ``repro harden``) select one with a plain string —
+the same pattern the fault-model and grading-engine registries use.
+
+Every transform obeys the same contract:
+
+* the original primary inputs are untouched (the plain and hardened
+  versions accept identical stimulus),
+* the original primary outputs keep their names and positions (checker
+  flags, if any, are *appended*), and
+* the result passes strict :func:`repro.netlist.validate.validate_netlist`
+  so it instruments, grades and synthesizes like any other circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HardeningError, NetlistError
+from repro.netlist.netlist import Netlist
+
+#: instance/net suffix separator used by every transform. Builder-made
+#: circuits never contain it (they use ``$``), so derived names read as
+#: visibly machine-generated; imported files *may* contain it, in which
+#: case a collision surfaces as a clean :class:`HardeningError` from
+#: :meth:`HardeningScheme.apply`.
+MARK = "~"
+
+
+@dataclass(frozen=True)
+class HardeningScheme:
+    """One registered protection transform.
+
+    ``transform`` takes ``(netlist, flops=None, name=None)`` and returns
+    a new netlist; ``flops=None`` hardens every flip-flop, a sequence
+    hardens only the named subset (selective hardening).
+    """
+
+    name: str
+    description: str
+    transform: Callable[..., Netlist]
+
+    def apply(
+        self,
+        netlist: Netlist,
+        flops: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+    ) -> Netlist:
+        try:
+            return self.transform(netlist, flops=flops, name=name)
+        except HardeningError:
+            raise
+        except NetlistError as error:
+            # e.g. an imported netlist whose own names contain the '~'
+            # separator and collide with a generated copy/voter name
+            raise HardeningError(
+                f"cannot apply {self.name!r} to circuit {netlist.name!r}: "
+                f"{error}"
+            ) from error
+
+
+_SCHEMES: Dict[str, HardeningScheme] = {}
+
+
+def register_scheme(
+    name: str, description: str, transform: Callable[..., Netlist]
+) -> None:
+    """Register a hardening transform under ``name``."""
+    _SCHEMES[name] = HardeningScheme(name, description, transform)
+
+
+def available_schemes() -> List[str]:
+    """Sorted names accepted by :func:`get_hardening_scheme`."""
+    return sorted(_SCHEMES)
+
+
+def get_hardening_scheme(name: str) -> HardeningScheme:
+    """Look up a hardening scheme; raises naming the bad segment."""
+    try:
+        return _SCHEMES[name]
+    except KeyError:
+        raise HardeningError(
+            f"unknown hardening scheme {name!r}; available schemes: "
+            + ", ".join(available_schemes())
+        ) from None
+
+
+def apply_hardening(
+    scheme: str,
+    netlist: Netlist,
+    flops: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Apply a registered scheme by name."""
+    return get_hardening_scheme(scheme).apply(netlist, flops=flops, name=name)
+
+
+def split_hardened_name(full: str) -> Tuple[str, str]:
+    """Parse ``hardened:<scheme>:<base>`` into ``(scheme, base)``.
+
+    ``base`` may itself be parameterized (``corpus:s298``, ``proc:40``);
+    scheme names are colon-free, so the split is unambiguous. Raises
+    :class:`HardeningError` naming the malformed segment.
+    """
+    parts = full.split(":", 2)
+    if len(parts) != 3 or not parts[1] or not parts[2]:
+        raise HardeningError(
+            f"malformed hardened circuit name {full!r}; expected "
+            "hardened:<scheme>:<circuit> (e.g. hardened:tmr:b04)"
+        )
+    scheme, base = parts[1], parts[2]
+    if scheme not in _SCHEMES:
+        raise HardeningError(
+            f"unknown hardening scheme {scheme!r} in circuit name "
+            f"{full!r}; available schemes: " + ", ".join(available_schemes())
+        )
+    return scheme, base
+
+
+# ----------------------------------------------------------------------
+# shared construction helpers
+# ----------------------------------------------------------------------
+def resolve_flops(
+    netlist: Netlist, flops: Optional[Sequence[str]]
+) -> List[str]:
+    """The flop subset a transform protects, validated and deduplicated.
+
+    ``None`` selects every flip-flop (in netlist order, so derived
+    structures are deterministic); an explicit subset keeps the caller's
+    order.
+    """
+    if flops is None:
+        names = netlist.ff_names()
+        if not names:
+            raise HardeningError(
+                f"circuit {netlist.name!r} has no flip-flops to harden"
+            )
+        return names
+    known = set(netlist.dffs)
+    seen = set()
+    names = []
+    for flop in flops:
+        if flop not in known:
+            raise HardeningError(
+                f"cannot harden unknown flip-flop {flop!r} in circuit "
+                f"{netlist.name!r}"
+            )
+        if flop not in seen:
+            seen.add(flop)
+            names.append(flop)
+    if not names:
+        raise HardeningError("selective hardening needs at least one flip-flop")
+    return names
+
+
+def copy_structure(
+    source: Netlist,
+    name: str,
+    skip_flops: Optional[set] = None,
+) -> Netlist:
+    """New netlist with ``source``'s ports, gates and (optionally all)
+    flops copied verbatim — the canvas every transform starts from."""
+    return source.clone(name=name, skip_dffs=skip_flops or ())
+
+
+def add_majority_voter(
+    result: Netlist, base: str, copies: Sequence[str], out_net: str
+) -> None:
+    """Emit ``maj(a, b, c) = ab | bc | ac`` driving ``out_net``.
+
+    Voters are plain 2-input-AND / 3-input-OR gates, so instrumented and
+    mapped hardened circuits treat them like any other logic.
+    """
+    a, b, c = copies
+    ab = f"{out_net}{MARK}vab"
+    bc = f"{out_net}{MARK}vbc"
+    ac = f"{out_net}{MARK}vac"
+    result.add_gate(f"{base}{MARK}vab", "and", (a, b), ab)
+    result.add_gate(f"{base}{MARK}vbc", "and", (b, c), bc)
+    result.add_gate(f"{base}{MARK}vac", "and", (a, c), ac)
+    result.add_gate(f"{base}{MARK}vote", "or", (ab, bc, ac), out_net)
+
+
+def reduce_tree(
+    result: Netlist,
+    gate_type: str,
+    nets: Sequence[str],
+    prefix: str,
+    out_net: Optional[str] = None,
+    arity: int = 4,
+) -> str:
+    """Balanced ``gate_type`` reduction over ``nets``; returns (and, when
+    ``out_net`` is given, drives) the root net. A single input is
+    buffered so the root is always a fresh driver."""
+    if not nets:
+        raise HardeningError("cannot reduce an empty net list")
+    counter = 0
+    level = list(nets)
+    while len(level) > 1:
+        next_level: List[str] = []
+        for start in range(0, len(level), arity):
+            chunk = level[start : start + arity]
+            if len(chunk) == 1:
+                next_level.append(chunk[0])
+                continue
+            counter += 1
+            is_root = len(level) <= arity
+            output = (
+                out_net
+                if (is_root and out_net is not None)
+                else f"{prefix}{MARK}r{counter}"
+            )
+            result.add_gate(
+                f"{prefix}{MARK}reduce{counter}", gate_type, tuple(chunk), output
+            )
+            next_level.append(output)
+        level = next_level
+    root = level[0]
+    if out_net is not None and root != out_net:
+        result.add_gate(f"{prefix}{MARK}buf", "buf", (root,), out_net)
+        return out_net
+    return root
+
+
+def fresh_output_name(netlist: Netlist, wanted: str) -> str:
+    """An output/net name not yet used anywhere in ``netlist``."""
+    taken = netlist.all_referenced_nets() | set(netlist.outputs)
+    if wanted not in taken:
+        return wanted
+    counter = 1
+    while f"{wanted}{MARK}{counter}" in taken:
+        counter += 1
+    return f"{wanted}{MARK}{counter}"

@@ -1,0 +1,58 @@
+"""Duplication with comparison.
+
+Each protected flop gains a shadow copy loading the same ``d`` net; a
+per-flop XOR compares the two and an OR tree reduces the compare bits
+into a single **error flag**, appended as a new primary output. The
+functional outputs are untouched — DWC detects, it does not mask — so a
+raised flag is the hardened circuit's way of *signalling* an upset.
+
+Because the flag is a primary output, any divergence between a flop and
+its shadow shows up in fault grading as an output mismatch: upsets that
+were silent or latent in the plain circuit become detected (classified
+FAILURE) in the DWC version. The hardness report reads the DWC failure
+rate as detection coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+from repro.hardening.base import (
+    MARK,
+    copy_structure,
+    fresh_output_name,
+    reduce_tree,
+    resolve_flops,
+)
+
+DEFAULT_FLAG = "dwc_err"
+
+
+def harden_dwc(
+    netlist: Netlist,
+    flops: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    flag_output: Optional[str] = None,
+) -> Netlist:
+    """Duplicate ``flops`` (default: all) and emit a comparison flag."""
+    protected = resolve_flops(netlist, flops)
+    result = copy_structure(netlist, name or f"{netlist.name}{MARK}dwc")
+    flag = fresh_output_name(netlist, flag_output or DEFAULT_FLAG)
+
+    compare_bits = []
+    for flop_name in protected:
+        dff = netlist.dffs[flop_name]
+        shadow_q = f"{dff.q}{MARK}dwc"
+        result.add_dff(f"{flop_name}{MARK}dwc", dff.d, shadow_q, dff.init)
+        compare_net = f"{dff.q}{MARK}cmp"
+        result.add_gate(
+            f"{flop_name}{MARK}cmp", "xor", (dff.q, shadow_q), compare_net
+        )
+        compare_bits.append(compare_net)
+
+    reduce_tree(result, "or", compare_bits, flag, out_net=flag)
+    result.add_output(flag)
+    validate_netlist(result)
+    return result

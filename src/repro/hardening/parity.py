@@ -1,0 +1,67 @@
+"""Per-register parity checking.
+
+One extra flip-flop stores the parity of the protected flops' next-state
+bits each clock edge; an XOR tree recomputes the parity of the live state
+and compares it against the stored bit, driving a **parity error flag**
+appended as a new primary output.
+
+A single upset in any protected flop (or in the parity bit itself) flips
+exactly one term of the comparison, so the flag raises for every cycle
+the corrupted value is live — detection at roughly one flop and two XOR
+trees of cost. Even-sized multi-bit upsets cancel in the parity sum and
+pass undetected: the classic parity blind spot, measurable here by
+grading an ``mbu:2`` campaign against the parity-hardened circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.logic.values import X
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import validate_netlist
+from repro.hardening.base import (
+    MARK,
+    copy_structure,
+    fresh_output_name,
+    reduce_tree,
+    resolve_flops,
+)
+
+DEFAULT_FLAG = "parity_err"
+
+
+def harden_parity(
+    netlist: Netlist,
+    flops: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    flag_output: Optional[str] = None,
+) -> Netlist:
+    """Guard ``flops`` (default: all) with one stored parity bit."""
+    protected = resolve_flops(netlist, flops)
+    result = copy_structure(netlist, name or f"{netlist.name}{MARK}parity")
+    flag = fresh_output_name(netlist, flag_output or DEFAULT_FLAG)
+    prefix = f"parity{MARK}{flag}"
+
+    d_nets = [netlist.dffs[flop_name].d for flop_name in protected]
+    q_nets = [netlist.dffs[flop_name].q for flop_name in protected]
+    inits = [netlist.dffs[flop_name].init for flop_name in protected]
+
+    if len(d_nets) == 1:
+        # A single protected flop's parity is its own bit: the scheme
+        # degenerates to duplication of that flop.
+        next_parity = d_nets[0]
+        live_parity = q_nets[0]
+    else:
+        next_parity = reduce_tree(result, "xor", d_nets, f"{prefix}{MARK}next")
+        live_parity = reduce_tree(result, "xor", q_nets, f"{prefix}{MARK}live")
+
+    parity_init = X if any(init == X for init in inits) else (
+        sum(int(init) for init in inits) & 1
+    )
+    stored = f"{prefix}{MARK}q"
+    result.add_dff(f"{prefix}{MARK}ff", next_parity, stored, parity_init)
+    result.add_gate(f"{prefix}{MARK}check", "xor", (live_parity, stored), flag)
+    result.add_output(flag)
+    validate_netlist(result)
+    return result

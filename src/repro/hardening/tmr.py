@@ -1,0 +1,137 @@
+"""Triple modular redundancy on flip-flops.
+
+Each protected flop is replaced by three copies plus a majority voter
+driving the original ``q`` net, so every consumer of the flop — including
+the shared next-state logic — sees the voted value:
+
+* **voted feedback** (``tmr``, the default): the copies reload from the
+  original ``d`` net, which is a function of voted state. A single upset
+  is masked the cycle it happens *and* scrubbed at the next clock edge
+  (the corrupted copy reloads the correct next state), so single SEUs are
+  silent.
+* **unvoted feedback** (``tmr_unvoted``): each copy reloads from its own
+  private clone of the ``d`` logic cone, substituting protected-flop
+  outputs with that copy's raw (unvoted) ``q`` — classic full TMR with
+  voting only at the boundary. A single upset stays masked at the outputs
+  but persists inside its copy's loop (latent rather than silent),
+  modelling TMR without scrubbing.
+
+Double upsets in two copies of the same flop defeat the majority in both
+variants — exactly the failure mode MBU campaigns quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netlist.netlist import Dff, Gate, Netlist
+from repro.netlist.transform import sweep_dead_logic
+from repro.netlist.validate import validate_netlist
+from repro.hardening.base import (
+    MARK,
+    add_majority_voter,
+    copy_structure,
+    resolve_flops,
+)
+
+COPIES = 3
+
+
+def harden_tmr(
+    netlist: Netlist,
+    flops: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+    voted_feedback: bool = True,
+) -> Netlist:
+    """Triplicate ``flops`` (default: all) behind majority voters."""
+    protected = resolve_flops(netlist, flops)
+    protected_set = set(protected)
+    suffix = "tmr" if voted_feedback else "tmr_unvoted"
+    result = copy_structure(
+        netlist, name or f"{netlist.name}{MARK}{suffix}", skip_flops=protected_set
+    )
+
+    #: (copy, original q net) -> that copy's raw q net
+    copy_q: Dict[Tuple[int, str], str] = {}
+    for flop_name in protected:
+        dff = netlist.dffs[flop_name]
+        for copy in range(COPIES):
+            copy_q[(copy, dff.q)] = f"{dff.q}{MARK}{suffix}{copy}"
+
+    if voted_feedback:
+        d_net_of = {
+            (copy, flop_name): netlist.dffs[flop_name].d
+            for flop_name in protected
+            for copy in range(COPIES)
+        }
+    else:
+        d_net_of = _clone_feedback_cones(netlist, result, protected, copy_q)
+
+    for flop_name in protected:
+        dff = netlist.dffs[flop_name]
+        for copy in range(COPIES):
+            result.add_dff(
+                f"{flop_name}{MARK}{suffix}{copy}",
+                d_net_of[(copy, flop_name)],
+                copy_q[(copy, dff.q)],
+                dff.init,
+            )
+        add_majority_voter(
+            result,
+            flop_name,
+            [copy_q[(copy, dff.q)] for copy in range(COPIES)],
+            dff.q,
+        )
+
+    if not voted_feedback:
+        # Original d-cones whose only consumers were the protected flops
+        # are now dead (each copy owns a private clone); sweep them so
+        # the result passes strict validation and area reflects the real
+        # structure.
+        result = sweep_dead_logic(result, name=result.name)
+    validate_netlist(result)
+    return result
+
+
+def _clone_feedback_cones(
+    source: Netlist,
+    result: Netlist,
+    protected: List[str],
+    copy_q: Dict[Tuple[int, str], str],
+) -> Dict[Tuple[int, str], str]:
+    """Per-copy clones of every protected flop's combinational d-cone.
+
+    Cloning stops at primary inputs, unprotected flop outputs (shared —
+    they are outside the redundant domain) and protected flop outputs
+    (rewired to the copy's raw q, closing the copy's private feedback
+    loop). Overlapping cones share clones within one copy.
+    """
+    memo: Dict[Tuple[int, str], str] = {}
+
+    def clone_net(copy: int, net: str) -> str:
+        mapped = copy_q.get((copy, net))
+        if mapped is not None:
+            return mapped
+        if source.is_input(net):
+            return net
+        driver = source.driver_of(net)
+        if isinstance(driver, Dff):
+            return net  # unprotected state is shared
+        key = (copy, net)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        assert isinstance(driver, Gate)
+        inputs = [clone_net(copy, input_net) for input_net in driver.inputs]
+        output = f"{net}{MARK}c{copy}"
+        result.add_gate(
+            f"{driver.name}{MARK}c{copy}", driver.gate_type, inputs, output
+        )
+        memo[key] = output
+        return output
+
+    return {
+        (copy, flop_name): clone_net(copy, source.dffs[flop_name].d)
+        for flop_name in protected
+        for copy in range(COPIES)
+    }

@@ -234,9 +234,16 @@ class Netlist:
         defines scan-chain position and fault indexing everywhere."""
         return list(self.dffs)
 
-    def clone(self, name: Optional[str] = None) -> "Netlist":
+    def clone(
+        self,
+        name: Optional[str] = None,
+        skip_dffs: Iterable[str] = (),
+    ) -> "Netlist":
         """Deep-copy the netlist (records are immutable, so this is a
-        cheap re-registration)."""
+        cheap re-registration). ``skip_dffs`` omits the named flip-flops
+        — transforms that replace flops (e.g. hardening) start from such
+        a partial copy."""
+        skip = set(skip_dffs)
         copy = Netlist(name or self.name)
         for net in self.inputs:
             copy.add_input(net)
@@ -245,7 +252,8 @@ class Netlist:
         for gate in self.gates.values():
             copy.add_gate(gate.name, gate.gate_type, gate.inputs, gate.output)
         for dff in self.dffs.values():
-            copy.add_dff(dff.name, dff.d, dff.q, dff.init)
+            if dff.name not in skip:
+                copy.add_dff(dff.name, dff.d, dff.q, dff.init)
         copy._fresh_counter = self._fresh_counter
         return copy
 

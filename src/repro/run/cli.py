@@ -10,7 +10,11 @@ The subcommands replace the plumbing the example scripts used to carry:
   table per circuit (with the paper's reference numbers for b14 at
   paper scale) from one shared oracle per circuit.
 * ``report`` — the full paper reproduction (Tables 1-2, classification,
-  speedup, Figure 1, optional crossover) for any registered circuit.
+  speedup, Figure 1, optional crossover) for any registered circuit;
+  ``--hardness`` renders the plain-vs-hardened classification table
+  (``eval/hardness.py``) instead.
+* ``harden`` — apply a :mod:`repro.hardening` transform (TMR / DWC /
+  parity) to a circuit and report, or save, the protected netlist.
 * ``sampling-error`` — sampled vs exhaustive classification rates with
   interval-coverage checks (``eval/sampling_error.py``).
 * ``circuits`` — every registered + corpus circuit with its size
@@ -25,6 +29,9 @@ describe can be launched, resumed and reported from the shell::
 
     python -m repro run --circuit b04 --technique time_multiplexed
     python -m repro run --circuit b04 --fault-model stuck_at_1 --sample 500
+    python -m repro run --circuit hardened:tmr:b04 --sample 500
+    python -m repro report --hardness --circuit b04
+    python -m repro harden --circuit b04 --scheme tmr -o b04_tmr.bnet
     python -m repro run --circuit b14 --sample 500 --ci-target 0.03
     python -m repro sweep --circuits b14 --workers 4
     python -m repro report --circuit b09 --no-crossover
@@ -44,6 +51,7 @@ from typing import List, Optional
 from repro.emu.board import BOARDS
 from repro.emu.instrument import TECHNIQUES
 from repro.errors import ReproError
+from repro.hardening import available_schemes
 from repro.faults.classify import FaultClass
 from repro.faults.models import DEFAULT_FAULT_MODEL, available_models
 from repro.faults.sampling import (
@@ -142,6 +150,13 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, single: bool) -> None:
     parser.add_argument(
         "--board", default="rc1000", choices=sorted(BOARDS)
     )
+    parser.add_argument(
+        "--hardening",
+        default=None,
+        choices=available_schemes(),
+        help="protect the circuit with a hardening scheme before grading "
+        "(equivalent to naming the circuit hardened:<scheme>:<name>)",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -200,6 +215,7 @@ def _spec_from(args: argparse.Namespace) -> CampaignSpec:
         scan_chains=args.scan_chains,
         fault_model=args.fault_model,
         sampling=args.sampling,
+        hardening=args.hardening,
     )
 
 
@@ -333,13 +349,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             scan_chains=args.scan_chains,
             fault_model=args.fault_model,
             sampling=args.sampling,
+            hardening=args.hardening,
         )
         results = runner.sweep(specs)
         table = Table(
             ["technique", "engine", "emulation time (ms)",
              "avg speed (us/fault)", "cycles/fault"],
             title=(
-                f"Sweep — {circuit} ({results[0].num_faults} faults, "
+                f"Sweep — {specs[0].effective_circuit} "
+                f"({results[0].num_faults} faults, "
                 f"{results[0].num_cycles} cycles)"
             ),
         )
@@ -375,6 +393,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.hardness:
+        return _cmd_report_hardness(args)
     from repro.eval.experiments import ExperimentContext, run_all_experiments
 
     context = ExperimentContext(
@@ -400,6 +420,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"  fastest technique on {args.circuit}: {fastest} "
         f"({'matches paper' if fastest == 'time_multiplexed' else 'differs!'})"
     )
+    return 0
+
+
+def _cmd_report_hardness(args: argparse.Namespace) -> int:
+    from repro.eval.hardness import (
+        DEFAULT_FAULT_MODELS,
+        DEFAULT_SCHEMES,
+        run_hardness_experiment,
+    )
+
+    runner = _runner_from(args)
+    report = run_hardness_experiment(
+        args.circuit,
+        schemes=args.schemes or DEFAULT_SCHEMES,
+        fault_models=args.fault_models or DEFAULT_FAULT_MODELS,
+        engine=args.engine,
+        seed=args.seed,
+        num_cycles=args.cycles,
+        sample=args.sample,
+        runner=runner,
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_harden(args: argparse.Namespace) -> int:
+    from repro.circuits.registry import build_circuit
+    from repro.hardening import apply_hardening
+    from repro.netlist.textio import dumps_netlist
+    from repro.synth.area import area_of
+
+    plain = build_circuit(args.circuit)
+    hardened = apply_hardening(args.scheme, plain, flops=args.flops)
+    plain_area, hardened_area = area_of(plain), area_of(hardened)
+    overhead = hardened_area.overhead_vs(plain_area)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dumps_netlist(hardened))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "circuit": args.circuit,
+                    "scheme": args.scheme,
+                    "hardened_name": hardened.name,
+                    "flops": {"plain": plain.num_ffs, "hardened": hardened.num_ffs},
+                    "gates": {"plain": plain.num_gates, "hardened": hardened.num_gates},
+                    "luts": {"plain": plain_area.luts, "hardened": hardened_area.luts},
+                    "lut_overhead_pct": round(overhead.lut_overhead_pct, 2),
+                    "ff_overhead_pct": round(overhead.ff_overhead_pct, 2),
+                    "output": args.output,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    protected = "all flops" if args.flops is None else f"{len(args.flops)} flops"
+    print(
+        f"{args.scheme} on {args.circuit} ({protected}): "
+        f"{plain.num_ffs} -> {hardened.num_ffs} FFs, "
+        f"{plain.num_gates} -> {hardened.num_gates} gates, "
+        f"{plain_area.luts} -> {hardened_area.luts} LUTs "
+        f"({overhead.lut_overhead_pct:+.0f}% LUTs, "
+        f"{overhead.ff_overhead_pct:+.0f}% FFs)"
+    )
+    if args.output is not None:
+        print(f"wrote {args.output}")
+    else:
+        print("(pass -o <path.bnet> to save the hardened netlist)")
     return 0
 
 
@@ -460,7 +550,8 @@ def _cmd_circuits(args: argparse.Namespace) -> int:
     print(table.render())
     print(
         "\nparameterized families: proc:<flops>, corpus:<name>, "
-        "file:<path> (.bench / .blif / .bnet)"
+        "file:<path> (.bench / .blif / .bnet), hardened:<scheme>:<circuit> "
+        "(schemes: " + ", ".join(available_schemes()) + ")"
     )
     return 0
 
@@ -493,7 +584,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     table = Table(
         ["workers", "seconds", "us/fault", "speedup vs workers=1"],
         title=(
-            f"Sharded runner — {spec.circuit}, "
+            f"Sharded runner — {spec.effective_circuit}, "
             f"{spec.resolved_cycles()} cycles"
         ),
     )
@@ -572,7 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     report_parser = commands.add_parser(
-        "report", help="full paper reproduction for one circuit"
+        "report",
+        help="full paper reproduction for one circuit (--hardness: "
+        "plain-vs-hardened classification table instead)",
     )
     report_parser.add_argument("--circuit", default="b14")
     report_parser.add_argument(
@@ -582,8 +675,59 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--cycles", type=int, default=None)
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--no-crossover", action="store_true")
+    report_parser.add_argument(
+        "--hardness",
+        action="store_true",
+        help="render the hardness-evaluation report: per-fault-model "
+        "classification rates plain vs hardened, plus area overhead",
+    )
+    report_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=available_schemes(),
+        help="hardening schemes the --hardness report compares",
+    )
+    report_parser.add_argument(
+        "--fault-models",
+        nargs="+",
+        default=None,
+        help="fault models the --hardness report grades "
+        "(default: seu, mbu:2, stuck_at_1)",
+    )
+    report_parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="sample size per --hardness campaign (default: exhaustive)",
+    )
     _add_runner_arguments(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    harden_parser = commands.add_parser(
+        "harden",
+        help="apply a hardening transform and report (or save) the result",
+    )
+    harden_parser.add_argument(
+        "--circuit", default="b04",
+        help="registered circuit name (also corpus:<name>, file:<path>)",
+    )
+    harden_parser.add_argument(
+        "--scheme", required=True, choices=available_schemes(),
+        help="hardening transform to apply",
+    )
+    harden_parser.add_argument(
+        "--flops", nargs="+", default=None,
+        help="flip-flop names to protect (default: all)",
+    )
+    harden_parser.add_argument(
+        "-o", "--output", default=None,
+        help="write the hardened netlist to this .bnet file",
+    )
+    harden_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    harden_parser.set_defaults(func=_cmd_harden)
 
     sampling_parser = commands.add_parser(
         "sampling-error",

@@ -112,8 +112,13 @@ class CampaignSpec:
     ``stuck_at_0/1``, ``intermittent[:p:d]``). ``sample`` of ``None``
     means the model's complete fault set; a positive value draws that
     many faults deterministically from it with the named ``sampling``
-    method (``uniform`` or ``stratified`` by flop). All fields are plain
-    values so a spec round-trips through JSON unchanged.
+    method (``uniform`` or ``stratified`` by flop). ``hardening`` names a
+    :mod:`repro.hardening` scheme applied to the built circuit (``tmr``,
+    ``tmr_unvoted``, ``dwc``, ``parity``; ``None`` grades the plain
+    netlist) — spelling the circuit ``hardened:<scheme>:<base>`` is
+    equivalent and normalises to the same spec, so both forms share one
+    campaign identity. All fields are plain values so a spec round-trips
+    through JSON unchanged.
     """
 
     circuit: str
@@ -127,8 +132,25 @@ class CampaignSpec:
     scan_chains: int = 1
     fault_model: str = DEFAULT_FAULT_MODEL
     sampling: str = "uniform"
+    hardening: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.circuit.startswith("hardened:"):
+            from repro.hardening import split_hardened_name
+
+            scheme, base = split_hardened_name(self.circuit)
+            if self.hardening is not None and self.hardening != scheme:
+                raise CampaignError(
+                    f"circuit {self.circuit!r} names hardening scheme "
+                    f"{scheme!r} but the spec also sets "
+                    f"hardening={self.hardening!r}; pick one spelling"
+                )
+            object.__setattr__(self, "circuit", base)
+            object.__setattr__(self, "hardening", scheme)
+        if self.hardening is not None:
+            from repro.hardening import get_hardening_scheme
+
+            get_hardening_scheme(self.hardening)  # fail early on unknown schemes
         if self.technique not in TECHNIQUES:
             raise CampaignError(
                 f"unknown technique {self.technique!r}; expected one of "
@@ -178,8 +200,20 @@ class CampaignSpec:
     def board_model(self) -> BoardModel:
         return board_by_name(self.board)
 
+    @property
+    def effective_circuit(self) -> str:
+        """The circuit's full registry spelling, hardening included."""
+        if self.hardening is None:
+            return self.circuit
+        return f"hardened:{self.hardening}:{self.circuit}"
+
     def build_netlist(self) -> Netlist:
-        return build_circuit(self.circuit)
+        netlist = build_circuit(self.circuit)
+        if self.hardening is not None:
+            from repro.hardening import apply_hardening
+
+            netlist = apply_hardening(self.hardening, netlist)
+        return netlist
 
     def build_testbench(self, netlist: Netlist) -> Testbench:
         kind = self.resolved_testbench_kind()
@@ -287,6 +321,10 @@ class CampaignSpec:
             "fault_model": self.fault_model,
             "sampling": self.sampling,
         }
+        if self.hardening is not None:
+            # Only present when set, so pre-hardening stores keep their
+            # campaign ids (and resume) across this change.
+            key["hardening"] = self.hardening
         digest = self.circuit_digest()
         if digest is not None:
             key["circuit_digest"] = digest
@@ -311,23 +349,32 @@ class CampaignSpec:
         precise message — to adopt shards graded under a different fault
         model or sampling configuration.
         """
-        return {
+        key = {
             "fault_model": self.fault_model,
             "sampling": self.sampling,
             "sample": self.sample,
             "seed": self.seed,
         }
+        if self.hardening is not None:
+            # The hardened netlist has a different flop population, so a
+            # mismatched resume should name the hardening difference.
+            key["hardening"] = self.hardening
+        return key
 
     @property
     def campaign_id(self) -> str:
         """Stable, filesystem-safe identity of this campaign's oracle."""
         canonical = json.dumps(self.oracle_key(), sort_keys=True)
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
-        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", self.circuit)
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", self.effective_circuit)
         return f"{slug}-{digest}"
 
     def with_technique(self, technique: str) -> "CampaignSpec":
         return replace(self, technique=technique)
+
+    def with_hardening(self, hardening: Optional[str]) -> "CampaignSpec":
+        """The same campaign against a (differently) hardened circuit."""
+        return replace(self, hardening=hardening)
 
     # ------------------------------------------------------------------
     # sweeps

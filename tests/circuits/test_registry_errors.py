@@ -1,0 +1,65 @@
+"""Malformed parameterized names fail with a clear :class:`ReproError`.
+
+Every parameterized family (``hardened:``, ``corpus:``, ``file:``,
+``proc:``, and the fault-model registry's ``mbu:``/``intermittent:``)
+must reject bad parameters with an error naming the offending segment —
+never a raw ``KeyError``/``ValueError`` traceback.
+"""
+
+import pytest
+
+from repro.circuits.registry import build_circuit
+from repro.errors import ReproError
+from repro.faults.models import get_fault_model
+from repro.run.spec import CampaignSpec
+
+
+class TestCircuitNames:
+    @pytest.mark.parametrize(
+        "name, fragment",
+        [
+            ("hardened:bogus:b04", "bogus"),
+            ("hardened:tmr", "hardened:tmr"),
+            ("hardened::b04", "hardened::b04"),
+            ("hardened:tmr:", "hardened:tmr:"),
+            ("hardened:tmr:nonexistent", "nonexistent"),
+            ("corpus:missing", "missing"),
+            ("corpus:", "unknown corpus circuit"),
+            ("proc:0", "proc:0"),
+            ("proc:abc", "proc:abc"),
+            ("no_such_circuit", "no_such_circuit"),
+        ],
+    )
+    def test_bad_name_raises_repro_error_naming_segment(self, name, fragment):
+        with pytest.raises(ReproError, match=fragment):
+            build_circuit(name)
+
+    def test_missing_file_is_a_repro_error(self):
+        with pytest.raises(ReproError, match="nope.bench"):
+            build_circuit("file:nope.bench")
+
+    def test_unknown_name_lists_families(self):
+        with pytest.raises(ReproError, match="hardened:<scheme>:<circuit>"):
+            build_circuit("definitely_not_registered")
+
+
+class TestFaultModelNames:
+    @pytest.mark.parametrize(
+        "name, fragment",
+        [
+            ("mbu:0", "width must be at least 2"),
+            ("mbu:1", "width must be at least 2"),
+            ("mbu:x", "expected an integer"),
+            ("mbu:2:3", "expected mbu or mbu:<width>"),
+            ("stuck_at_2", "unknown fault model"),
+            ("intermittent:0:1", "period"),
+            ("intermittent:abc", "intermittent"),
+        ],
+    )
+    def test_bad_model_raises_repro_error(self, name, fragment):
+        with pytest.raises(ReproError, match=fragment):
+            get_fault_model(name)
+
+    def test_spec_surfaces_model_error_early(self):
+        with pytest.raises(ReproError, match="width must be at least 2"):
+            CampaignSpec(circuit="b02", technique="mask_scan", fault_model="mbu:0")

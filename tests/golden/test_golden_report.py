@@ -1,0 +1,82 @@
+"""Golden snapshots of the ``python -m repro report`` tables.
+
+Table 1 (synthesis/area) and Table 2 (emulation timing) are fully
+deterministic — modelled cycle counts at a modelled clock, no wall-time
+— so their rendered text is pinned byte-for-byte for one builtin (b04)
+and one imported (corpus:s298) circuit. Any change to LUT mapping,
+instrumentation overhead, cycle accounting, table layout or number
+formatting fails here loudly instead of drifting silently.
+
+To refresh after an *intentional* change: delete the files under
+``tests/golden/`` and re-run this module with ``REPRO_REGEN_GOLDEN=1``.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.run.cli import main
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+CASES = [
+    ("b04", "b04"),
+    ("corpus:s298", "s298"),
+]
+TABLES = [
+    ("Table 1 —", "table1"),
+    ("Table 2 —", "table2"),
+]
+
+
+def _extract_block(text: str, title: str) -> str:
+    """The contiguous non-blank block starting at the table title."""
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if line.startswith(title):
+            block = []
+            for candidate in lines[index:]:
+                if not candidate.strip():
+                    break
+                block.append(candidate.rstrip())
+            return "\n".join(block) + "\n"
+    raise AssertionError(f"no block titled {title!r} in report output")
+
+
+@pytest.fixture(scope="module")
+def report_outputs():
+    """One full report run per circuit, shared by both table checks."""
+    outputs = {}
+    for circuit, _ in CASES:
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(
+                [
+                    "report",
+                    "--circuit", circuit,
+                    "--no-crossover",
+                    "--no-store",
+                    "--quiet",
+                ]
+            )
+        assert code == 0
+        outputs[circuit] = buffer.getvalue()
+    return outputs
+
+
+@pytest.mark.parametrize("circuit, slug", CASES)
+@pytest.mark.parametrize("title, label", TABLES)
+def test_report_table_matches_golden(report_outputs, circuit, slug, title, label):
+    golden_path = GOLDEN_DIR / f"report_{slug}_{label}.txt"
+    actual = _extract_block(report_outputs[circuit], title)
+    if os.environ.get("REPRO_REGEN_GOLDEN") and not golden_path.exists():
+        golden_path.write_text(actual, encoding="utf-8")
+    golden = golden_path.read_text(encoding="utf-8")
+    assert actual == golden, (
+        f"{label} for {circuit} drifted from {golden_path.name}; if the "
+        "change is intentional, delete the golden file and regenerate "
+        "with REPRO_REGEN_GOLDEN=1"
+    )

@@ -1,0 +1,173 @@
+"""Fault-semantics contracts of the hardening schemes.
+
+The claims the hardness report rests on, proved at the single-fault
+level: TMR masks any single upset (and scrubs it — silent), double
+upsets inside one voter group defeat it, DWC's flag raises on exactly
+the cycles original and shadow state diverge, and parity detects odd
+upsets while being blind to even ones at the injection cycle.
+"""
+
+import pytest
+
+from repro.faults.classify import FaultClass
+from repro.faults.model import SeuFault, exhaustive_fault_list
+from repro.faults.models import MbuFault
+from repro.hardening import harden_dwc, harden_parity, harden_tmr
+from repro.sim.cycle import CycleSimulator, run_golden
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import random_testbench
+
+from tests.hardening.util import WIDTH, build_datapath
+
+CYCLES = 32
+
+
+def _bench(netlist, seed=11):
+    return random_testbench(netlist, CYCLES, seed=seed)
+
+
+class TestTmrVoter:
+    def test_single_upset_in_any_copy_is_silent(self):
+        """The complete single-fault set on the TMR circuit is masked:
+        no failures, and every upset vanishes (scrubbed next load)."""
+        hardened = harden_tmr(build_datapath())
+        result = grade_faults(
+            hardened, _bench(hardened), exhaustive_fault_list(hardened, CYCLES)
+        )
+        counts = result.to_dictionary().counts()
+        assert counts[FaultClass.FAILURE] == 0
+        assert counts[FaultClass.LATENT] == 0
+        assert counts[FaultClass.SILENT] == result.num_faults
+
+    def test_single_upset_masked_at_injection_cycle(self):
+        """Output word at the injection cycle matches golden exactly."""
+        hardened = harden_tmr(build_datapath())
+        bench = _bench(hardened)
+        for copy in range(3):
+            fault = SeuFault(cycle=9, flop_index=copy)  # copies of ff0
+            result = grade_faults(hardened, bench, [fault])
+            assert result.fail_cycles[0] == -1
+            assert result.vanish_cycles[0] == 9  # scrubbed same cycle
+
+    def test_double_upset_in_distinct_copies_is_not_masked(self):
+        """Two corrupted copies out-vote the clean one: the wrong value
+        reaches the outputs the same cycle."""
+        hardened = harden_tmr(build_datapath())
+        bench = _bench(hardened)
+        # copies of one flop are adjacent in flop order: 3i, 3i+1, 3i+2
+        fault = MbuFault(cycle=9, flop_index=0, width=2)
+        result = grade_faults(hardened, bench, [fault])
+        assert result.fail_cycles[0] == 9
+
+    def test_double_upset_across_voter_groups_is_masked(self):
+        """Adjacent flops in *different* voter groups each keep their
+        majority: scan-order adjacency is not voter-group adjacency."""
+        hardened = harden_tmr(build_datapath())
+        bench = _bench(hardened)
+        # flop 2 (copy2 of ff0) and flop 3 (copy0 of ff1)
+        fault = MbuFault(cycle=9, flop_index=2, width=2)
+        result = grade_faults(hardened, bench, [fault])
+        assert result.fail_cycles[0] == -1
+        assert result.vanish_cycles[0] == 9
+
+    def test_unvoted_feedback_masks_but_does_not_scrub(self):
+        """Without voted feedback the upset persists in its copy's
+        private loop: never a failure, but latent instead of silent when
+        the corrupted loop state survives to the end of the bench."""
+        hardened = harden_tmr(build_datapath(), voted_feedback=False)
+        result = grade_faults(
+            hardened, _bench(hardened), exhaustive_fault_list(hardened, CYCLES)
+        )
+        counts = result.to_dictionary().counts()
+        assert counts[FaultClass.FAILURE] == 0
+        assert counts[FaultClass.LATENT] > 0
+
+
+class TestDwcFlag:
+    def _divergence_flags(self, hardened, bench, fault_flop, inject_cycle):
+        """Simulate one upset, returning per-cycle (flag, states_differ)."""
+        golden = run_golden(hardened, bench)
+        simulator = CycleSimulator(hardened)
+        simulator.set_state(golden.states[inject_cycle])
+        simulator.flip_flop_bit(fault_flop)
+        flag_bit = len(hardened.outputs) - 1
+        observations = []
+        num_flops = hardened.num_ffs
+        originals = range(WIDTH)  # original flops come first
+        shadows = range(num_flops - WIDTH, num_flops)
+        for cycle in range(inject_cycle, bench.num_cycles):
+            state = simulator.get_state()
+            diverged = any(
+                (state >> original) & 1 != (state >> shadow) & 1
+                for original, shadow in zip(originals, shadows)
+            )
+            output = simulator.step(bench.vectors[cycle])
+            observations.append(((output >> flag_bit) & 1, int(diverged)))
+        return observations
+
+    def test_flag_raises_on_exactly_the_divergent_cycles(self):
+        hardened = harden_dwc(build_datapath())
+        bench = _bench(hardened)
+        for fault_flop in (0, WIDTH):  # an original and a shadow flop
+            observations = self._divergence_flags(hardened, bench, fault_flop, 7)
+            for flag, diverged in observations:
+                assert flag == diverged
+            # a transient upset diverges the pair for exactly one cycle:
+            # both copies reload from the shared d net at the next edge
+            assert [flag for flag, _ in observations] == [1] + [0] * (
+                len(observations) - 1
+            )
+
+    def test_every_single_upset_is_detected(self):
+        """Upsets on any flop (original or shadow) raise the flag at the
+        injection cycle, so the whole population classifies FAILURE."""
+        hardened = harden_dwc(build_datapath())
+        result = grade_faults(
+            hardened, _bench(hardened), exhaustive_fault_list(hardened, CYCLES)
+        )
+        assert all(cycle != -1 for cycle in result.fail_cycles)
+        # detection is immediate: fail cycle == injection cycle
+        for fault, fail_cycle in zip(result.faults, result.fail_cycles):
+            assert fail_cycle == fault.cycle
+
+
+class TestParityFlag:
+    def test_odd_upset_detected_at_injection_cycle(self):
+        hardened = harden_parity(build_datapath())
+        bench = _bench(hardened)
+        flag_bit = len(hardened.outputs) - 1
+        golden = run_golden(hardened, bench)
+        for flop in range(hardened.num_ffs):  # includes the parity flop
+            simulator = CycleSimulator(hardened)
+            simulator.set_state(golden.states[5])
+            simulator.flip_flop_bit(flop)
+            output = simulator.step(bench.vectors[5])
+            assert (output >> flag_bit) & 1 == 1
+
+    def test_even_upset_is_missed_at_injection_cycle(self):
+        """Two flipped bits cancel in the parity sum — the blind spot."""
+        hardened = harden_parity(build_datapath())
+        bench = _bench(hardened)
+        flag_bit = len(hardened.outputs) - 1
+        golden = run_golden(hardened, bench)
+        simulator = CycleSimulator(hardened)
+        simulator.set_state(golden.states[5])
+        simulator.flip_flop_bit(0)
+        simulator.flip_flop_bit(1)
+        output = simulator.step(bench.vectors[5])
+        assert (output >> flag_bit) & 1 == 0
+
+
+@pytest.mark.parametrize("scheme_transform", (harden_dwc, harden_parity))
+def test_detection_schemes_do_not_mask(scheme_transform):
+    """DWC/parity leave the functional outputs unprotected: faults that
+    failed on the plain circuit still fail on the hardened one."""
+    plain = build_datapath()
+    hardened = scheme_transform(plain)
+    bench = _bench(plain)
+    faults = exhaustive_fault_list(plain, CYCLES)  # original flops only
+    plain_result = grade_faults(plain, bench, faults)
+    hardened_result = grade_faults(hardened, _bench(hardened), faults)
+    for index, plain_fail in enumerate(plain_result.fail_cycles):
+        if plain_fail != -1:
+            assert hardened_result.fail_cycles[index] != -1

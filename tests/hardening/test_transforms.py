@@ -1,0 +1,195 @@
+"""Structural contracts of the hardening transforms.
+
+Every scheme must preserve the circuit interface (inputs verbatim,
+original outputs prefix-stable), produce strictly valid netlists, honour
+selective flop subsets, and leave the fault-free behaviour untouched.
+"""
+
+import pytest
+
+from repro.circuits.registry import build_circuit
+from repro.emu.system import AutonomousEmulator
+from repro.errors import HardeningError
+from repro.hardening import (
+    apply_hardening,
+    available_schemes,
+    harden_dwc,
+    harden_parity,
+    harden_tmr,
+)
+from repro.netlist.textio import dumps_netlist, loads_netlist
+from repro.netlist.validate import validate_netlist
+from repro.sim.cycle import run_golden
+from repro.sim.vectors import random_testbench
+from repro.synth.area import area_of
+
+from tests.hardening.util import WIDTH, build_datapath
+
+ALL_SCHEMES = ("tmr", "tmr_unvoted", "dwc", "parity")
+
+
+class TestInterfaceContract:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_inputs_and_output_prefix_preserved(self, scheme):
+        plain = build_datapath()
+        hardened = apply_hardening(scheme, plain)
+        assert hardened.inputs == plain.inputs
+        assert hardened.outputs[: len(plain.outputs)] == plain.outputs
+        validate_netlist(hardened)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_golden_outputs_unchanged(self, scheme):
+        """Fault-free, the hardened circuit computes the same function."""
+        plain = build_datapath()
+        hardened = apply_hardening(scheme, plain)
+        bench = random_testbench(plain, 40, seed=7)
+        plain_golden = run_golden(plain, bench)
+        hardened_golden = run_golden(hardened, bench)
+        original = (1 << len(plain.outputs)) - 1
+        for plain_word, hardened_word in zip(
+            plain_golden.outputs, hardened_golden.outputs
+        ):
+            assert hardened_word & original == plain_word
+
+    @pytest.mark.parametrize("scheme", ("dwc", "parity"))
+    def test_flag_low_in_golden_run(self, scheme):
+        """The checker flag never raises without a fault."""
+        plain = build_datapath()
+        hardened = apply_hardening(scheme, plain)
+        flag_bit = 1 << (len(hardened.outputs) - 1)
+        bench = random_testbench(plain, 40, seed=7)
+        for word in run_golden(hardened, bench).outputs:
+            assert word & flag_bit == 0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_deterministic(self, scheme):
+        a = dumps_netlist(apply_hardening(scheme, build_datapath()))
+        b = dumps_netlist(apply_hardening(scheme, build_datapath()))
+        assert a == b
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_bnet_round_trip(self, scheme):
+        hardened = apply_hardening(scheme, build_datapath())
+        reloaded = loads_netlist(dumps_netlist(hardened))
+        assert reloaded.ff_names() == hardened.ff_names()
+        assert reloaded.outputs == hardened.outputs
+
+
+class TestStructure:
+    def test_tmr_triples_flops(self):
+        plain = build_datapath()
+        hardened = harden_tmr(plain)
+        assert hardened.num_ffs == 3 * plain.num_ffs
+        assert hardened.name == "datapath~tmr"
+        # voters: 3 ANDs + 1 OR per protected flop
+        assert hardened.num_gates == plain.num_gates + 4 * plain.num_ffs
+
+    def test_tmr_unvoted_clones_feedback_cones(self):
+        plain = build_datapath()
+        hardened = harden_tmr(plain, voted_feedback=False)
+        assert hardened.num_ffs == 3 * plain.num_ffs
+        # each copy owns a private clone of every d-cone xor
+        assert hardened.num_gates > plain.num_gates + 4 * plain.num_ffs
+        validate_netlist(hardened)
+
+    def test_dwc_doubles_flops_and_appends_flag(self):
+        plain = build_datapath()
+        hardened = harden_dwc(plain)
+        assert hardened.num_ffs == 2 * plain.num_ffs
+        assert hardened.outputs[-1] == "dwc_err"
+
+    def test_parity_adds_one_flop_and_flag(self):
+        plain = build_datapath()
+        hardened = harden_parity(plain)
+        assert hardened.num_ffs == plain.num_ffs + 1
+        assert hardened.outputs[-1] == "parity_err"
+
+    def test_flag_name_collision_is_resolved(self):
+        plain = build_datapath()
+        hardened = harden_dwc(plain, flag_output="out[0]")
+        assert hardened.outputs[-1] != "out[0]"
+        assert hardened.outputs[-1].startswith("out[0]")
+        validate_netlist(hardened)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_area_overhead_is_positive(self, scheme):
+        plain = build_circuit("b02")
+        hardened = apply_hardening(scheme, plain)
+        overhead = area_of(hardened).overhead_vs(area_of(plain))
+        assert overhead.lut_overhead_pct > 0
+        assert overhead.ff_overhead_pct > 0
+
+
+class TestSelectiveHardening:
+    def test_subset_only_touches_named_flops(self):
+        plain = build_datapath()
+        hardened = harden_tmr(plain, flops=["ff0", "ff2"])
+        assert hardened.num_ffs == plain.num_ffs + 2 * 2
+        assert "ff1" in hardened.dffs
+        assert "ff0" not in hardened.dffs
+        assert "ff0~tmr0" in hardened.dffs
+        validate_netlist(hardened)
+
+    def test_subset_order_and_duplicates_normalised(self):
+        plain = build_datapath()
+        a = dumps_netlist(harden_dwc(plain, flops=["ff1", "ff1", "ff0"]))
+        b = dumps_netlist(harden_dwc(plain, flops=["ff1", "ff0"]))
+        assert a == b
+
+    def test_unknown_flop_is_named(self):
+        with pytest.raises(HardeningError, match="nonexistent"):
+            harden_tmr(build_datapath(), flops=["nonexistent"])
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(HardeningError, match="at least one"):
+            harden_parity(build_datapath(), flops=[])
+
+    def test_flopless_circuit_rejected(self):
+        with pytest.raises(HardeningError, match="no flip-flops"):
+            apply_hardening("tmr", build_circuit("corpus:c17"))
+
+    def test_name_collision_with_generated_names_is_clean(self):
+        """Imported netlists may legally contain '~' in their names; a
+        collision with a generated copy name must surface as a
+        HardeningError, not a raw duplicate-name crash."""
+        from repro.netlist.netlist import Netlist
+
+        netlist = Netlist("hostile")
+        netlist.add_input("a")
+        netlist.add_dff("ff", "a", "q")
+        netlist.add_dff("ff~dwc", "a", "q~dwc")  # occupies the shadow name
+        netlist.add_output("q")
+        netlist.add_output("q~dwc")
+        with pytest.raises(HardeningError, match="cannot apply 'dwc'"):
+            apply_hardening("dwc", netlist, flops=["ff"])
+
+    def test_double_hardening_composes(self):
+        """Schemes stack when names do not collide: DWC inside TMR."""
+        layered = apply_hardening("tmr", apply_hardening("dwc", build_datapath()))
+        assert layered.num_ffs == 3 * (2 * WIDTH)
+        validate_netlist(layered)
+
+
+class TestEmulatorCompatibility:
+    """Hardened netlists instrument and synthesize like any circuit:
+    voters are plain gates, triplicated flops grow the scan chain."""
+
+    @pytest.mark.parametrize("technique", ("mask_scan", "time_multiplexed"))
+    def test_instrument_and_synthesize(self, technique):
+        plain = build_circuit("b02")
+        hardened = apply_hardening("tmr", plain)
+        cycles, faults = 32, 32 * hardened.num_ffs
+        plain_summary = AutonomousEmulator(
+            plain, technique, campaign_cycles=cycles, campaign_faults=faults
+        ).synthesize(cycles, faults)
+        hardened_summary = AutonomousEmulator(
+            hardened, technique, campaign_cycles=cycles, campaign_faults=faults
+        ).synthesize(cycles, faults)
+        assert hardened_summary.modified.ffs > plain_summary.modified.ffs
+        assert hardened_summary.system.luts > plain_summary.system.luts
+
+    def test_registry_name_is_schemes(self):
+        assert set(available_schemes()) == set(ALL_SCHEMES)
+
+    def test_selective_width_matches_helper(self):
+        assert WIDTH == build_datapath().num_ffs

@@ -1,0 +1,24 @@
+"""Shared fixture circuit for the hardening tests.
+
+A 4-bit rotate-xor datapath whose outputs expose the state directly, so
+corrupted state is immediately visible on the outputs — the sharpest
+possible probe for masking (TMR) and detection (DWC/parity) claims.
+"""
+
+from repro.netlist.builder import NetlistBuilder
+
+WIDTH = 4
+
+
+def build_datapath(name: str = "datapath") -> "NetlistBuilder.netlist":
+    builder = NetlistBuilder(name)
+    data = builder.inputs("data", WIDTH)
+    d_nets = [builder.netlist.fresh_net(f"d{i}") for i in range(WIDTH)]
+    q_nets = [
+        builder.dff(d_nets[i], q=f"state[{i}]", init=0, name=f"ff{i}")
+        for i in range(WIDTH)
+    ]
+    for i in range(WIDTH):
+        builder.xor_(q_nets[(i - 1) % WIDTH], data[i], out=d_nets[i])
+    builder.outputs("out", q_nets)
+    return builder.build()
