@@ -557,41 +557,57 @@ def _cmd_circuits(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.run.runner import SHARDS_PER_WORKER
     from repro.util.tables import Table
 
     spec = _spec_from(args)
     if args.quick and args.cycles is None:
         spec = CampaignSpec.from_dict({**spec.to_dict(), "num_cycles": 48})
+    # Every worker count grades the same shard plan (the workers=1
+    # default). With the per-worker shard policy, workers=2 would grade
+    # twice as many shards as workers=1 and the table would conflate
+    # per-shard/IPC overhead with process scaling — the very thing it
+    # exists to isolate.
+    shards = args.shards or SHARDS_PER_WORKER
     rows = []
     baseline = None
     for workers in args.workers_list:
-        runner = CampaignRunner(workers=workers, shards=args.shards)
-        best = float("inf")
-        for _ in range(max(1, args.repeats)):
+        with CampaignRunner(workers=workers, shards=shards) as runner:
+            # First pass is warmup — it pays pool creation, scenario
+            # builds, compiles and cache population — and is reported
+            # separately, never mixed into the steady-state number.
             started = time.perf_counter()
             oracle = runner.grade(spec)
-            best = min(best, time.perf_counter() - started)
+            warmup = time.perf_counter() - started
+            best = float("inf")
+            for _ in range(max(1, args.repeats)):
+                started = time.perf_counter()
+                oracle = runner.grade(spec)
+                best = min(best, time.perf_counter() - started)
         if baseline is None:
             baseline = best
         rows.append(
             {
                 "workers": workers,
+                "warmup_seconds": round(warmup, 4),
                 "seconds": round(best, 4),
                 "us_per_fault": round(best * 1e6 / oracle.num_faults, 3),
                 "speedup_vs_serial": round(baseline / best, 2),
             }
         )
     table = Table(
-        ["workers", "seconds", "us/fault", "speedup vs workers=1"],
+        ["workers", "warmup (s)", "steady (s)", "us/fault",
+         "speedup vs workers=1"],
         title=(
             f"Sharded runner — {spec.effective_circuit}, "
-            f"{spec.resolved_cycles()} cycles"
+            f"{spec.resolved_cycles()} cycles, {shards} shards"
         ),
     )
     for row in rows:
         table.add_row(
             [
                 row["workers"],
+                f"{row['warmup_seconds']:.3f}",
                 f"{row['seconds']:.3f}",
                 f"{row['us_per_fault']:.3f}",
                 f"{row['speedup_vs_serial']:.2f}x",
@@ -601,7 +617,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(
-                {"spec": spec.to_dict(), "rows": rows},
+                {"spec": spec.to_dict(), "shards": shards, "rows": rows},
                 handle,
                 indent=2,
                 sort_keys=True,

@@ -147,6 +147,54 @@ class CampaignRunner:
         self.resume = resume
         self.progress = progress
         self.mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first pooled grade.
+
+        Keeping the executor alive across campaigns is a large share of
+        the multi-worker win: repeated ``grade`` calls (sweeps, bench
+        repeats, adaptive rounds) reuse warm worker processes instead of
+        paying fork + import + scenario warmup per call. The pool is
+        created *after* the parent has prewarmed the campaign artifacts,
+        so forked workers inherit every session cache.
+        """
+        if self._pool is None:
+            start_method = self.mp_context or (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            context = multiprocessing.get_context(start_method)
+            package_root = os.path.dirname(os.path.dirname(repro.__file__))
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=worker.worker_init,
+                initargs=(package_root,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort; close() is the supported path
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # planning
@@ -165,7 +213,11 @@ class CampaignRunner:
         return oracle
 
     def _graded(self, spec: CampaignSpec) -> Tuple[Scenario, FaultGradingResult]:
-        scenario = worker.scenario_for(spec)
+        # Prewarm before any pool exists: compiled plan, golden trace,
+        # fused program and native kernel land in the session caches
+        # (inherited by forked workers) and the disk artifact cache
+        # (shared with spawned or recycled workers).
+        scenario = worker.prewarm(spec)
         windows = self.plan(spec)
         store = None
         done: Dict[int, ShardRecord] = {}
@@ -228,34 +280,22 @@ class CampaignRunner:
     def _grade_pool(
         self, spec_dict: Dict, pending: Sequence[ShardWindow]
     ) -> Iterator[ShardRecord]:
-        """Fan shards out to a process pool, yielding as they complete."""
-        start_method = self.mp_context or (
-            "fork"
-            if "fork" in multiprocessing.get_all_start_methods()
-            else "spawn"
-        )
-        context = multiprocessing.get_context(start_method)
-        package_root = os.path.dirname(os.path.dirname(repro.__file__))
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)),
-            mp_context=context,
-            initializer=worker.worker_init,
-            initargs=(package_root,),
-        ) as pool:
-            futures = {
-                pool.submit(
-                    worker.grade_window,
-                    spec_dict,
-                    window.index,
-                    window.start_cycle,
-                    window.end_cycle,
-                )
-                for window in pending
-            }
-            while futures:
-                finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    yield ShardRecord.from_json_obj(future.result())
+        """Fan shards out to the persistent pool, yielding as they complete."""
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(
+                worker.grade_window,
+                spec_dict,
+                window.index,
+                window.start_cycle,
+                window.end_cycle,
+            )
+            for window in pending
+        }
+        while futures:
+            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                yield ShardRecord.from_json_obj(future.result())
 
     def _merge(
         self,

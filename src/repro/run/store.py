@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +64,16 @@ class ShardRecord:
             sort_keys=True,
         )
 
+    @staticmethod
+    def _cycle_list(value) -> List[int]:
+        """Cycle outcomes, from JSON lists or the workers' packed-int32
+        IPC form (:func:`repro.run.worker.grade_window`)."""
+        if isinstance(value, (bytes, bytearray)):
+            unpacked = array("i")
+            unpacked.frombytes(value)
+            return unpacked.tolist()
+        return [int(x) for x in value]
+
     @classmethod
     def from_json_obj(cls, obj: Dict) -> "ShardRecord":
         record = cls(
@@ -70,8 +81,8 @@ class ShardRecord:
             start_cycle=int(obj["start_cycle"]),
             end_cycle=int(obj["end_cycle"]),
             num_faults=int(obj["num_faults"]),
-            fail_cycles=[int(x) for x in obj["fail_cycles"]],
-            vanish_cycles=[int(x) for x in obj["vanish_cycles"]],
+            fail_cycles=cls._cycle_list(obj["fail_cycles"]),
+            vanish_cycles=cls._cycle_list(obj["vanish_cycles"]),
             engine=str(obj.get("engine", "")),
             elapsed_s=float(obj.get("elapsed_s", 0.0)),
         )

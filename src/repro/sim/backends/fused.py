@@ -139,6 +139,8 @@ class FusedProgram:
     q_slots: np.ndarray
     #: instantiated (values, plan, ...) per word count — see _instantiate
     plans: Dict[int, tuple] = field(default_factory=dict, repr=False)
+    #: golden mask rows per stimulus digest — see _masks_for
+    masks: Dict[str, tuple] = field(default_factory=dict, repr=False)
 
 
 _PROGRAM_CACHE: "WeakKeyDictionary[CompiledNetlist, FusedProgram]" = (
@@ -479,6 +481,35 @@ def _mask_rows(words: Sequence[int], num_bits: int) -> np.ndarray:
     return rows
 
 
+#: golden mask-row sets kept per program (keyed by stimulus digest)
+_MAX_CACHED_MASKS = 4
+
+
+def _masks_for(
+    program: FusedProgram, testbench: Testbench, golden: GoldenTrace
+) -> tuple:
+    """The (input, output, state) mask rows, cached on the program.
+
+    The expansion is pure Python over every golden word and costs
+    milliseconds at b14 scale — a fixed per-grade-call tax that the
+    sharded runner would otherwise pay once per shard. The golden trace
+    is a function of (netlist, stimulus) and the program is per-netlist,
+    so the stimulus digest alone keys the memo.
+    """
+    key = testbench.stimulus_digest()
+    masks = program.masks.get(key)
+    if masks is None:
+        masks = (
+            _mask_rows(testbench.vectors, program.num_inputs),
+            _mask_rows(golden.outputs, len(program.output_slots)),
+            _mask_rows(golden.states, len(program.q_slots)),
+        )
+        if len(program.masks) >= _MAX_CACHED_MASKS:
+            program.masks.clear()
+        program.masks[key] = masks
+    return masks
+
+
 class _LaneOrder:
     """Fault lanes stably sorted by injection cycle.
 
@@ -536,10 +567,10 @@ class FusedEngine(GradingEngine):
 
         lanes = _LaneOrder(program, faults, num_cycles)
 
-        # Golden words pre-unpacked to mask rows, once per grade call.
-        in_masks = _mask_rows(testbench.vectors, program.num_inputs)
-        out_masks = _mask_rows(golden.outputs, len(program.output_slots))
-        state_masks = _mask_rows(golden.states, len(program.q_slots))
+        # Golden words pre-unpacked to mask rows, cached per stimulus.
+        in_masks, out_masks, state_masks = _masks_for(
+            program, testbench, golden
+        )
 
         # Valid-lane mask per word (the last word may be partial).
         valid = np.full(num_words, _ONES, dtype=np.uint64)
@@ -551,7 +582,7 @@ class FusedEngine(GradingEngine):
 
         kernel = native_kernel() if self.use_native else None
         runner = self._run_native if kernel is not None else self._run_plan
-        executed = runner(
+        executed, extra = runner(
             kernel,
             program,
             lanes,
@@ -568,6 +599,7 @@ class FusedEngine(GradingEngine):
             "num_words": num_words,
             "num_groups": len(program.groups),
             "native": kernel is not None,
+            **extra,
         }
 
         fail_cycle = np.empty(num_faults, dtype=np.int64)
@@ -602,9 +634,9 @@ class FusedEngine(GradingEngine):
         num_words = (num_faults + 63) // 64
         num_flops = len(program.q_slots)
 
-        in_masks = _mask_rows(testbench.vectors, program.num_inputs)
-        out_masks = _mask_rows(golden.outputs, len(program.output_slots))
-        state_masks = _mask_rows(golden.states, num_flops)
+        in_masks, out_masks, state_masks = _masks_for(
+            program, testbench, golden
+        )
 
         values, plan, out_buffer, d_buffer = _instantiate(program, num_words)
         input_view = values[0 : program.num_inputs]
@@ -729,7 +761,7 @@ class FusedEngine(GradingEngine):
         return fail_cycle.tolist(), vanish_cycle.tolist()
 
     # ------------------------------------------------------------------
-    # native path: C cycle kernel over a sliding window of active words
+    # native path: C cycle kernel over a compacting packed lane window
     # ------------------------------------------------------------------
     @staticmethod
     def _run_native(
@@ -741,7 +773,20 @@ class FusedEngine(GradingEngine):
         shape: tuple,
         fail_sorted: np.ndarray,
         vanish_sorted: np.ndarray,
-    ) -> int:
+    ) -> tuple:
+        """Simulate only live lanes, repacking them as they resolve.
+
+        Lanes occupy *packed positions*: injections append at the packed
+        end (so before any repack, position == sorted lane index), and
+        once enough lanes have re-converged the kept bits of every flop
+        row are squeezed to the front by the native PEXT compactor. The
+        ``lane_map`` indirection (packed position -> sorted lane index)
+        keeps fail/vanish writes exact across repacks. On convergence-
+        heavy campaigns this cuts the streamed word columns by ~2x over
+        the old contiguous word window, because a word column stayed
+        active while *any* of its 64 lanes was unresolved.
+        """
+        del valid  # per-lane bookkeeping makes the word mask redundant
         in_masks, out_masks, state_masks = masks
         num_faults, num_words, num_cycles = shape
         q_start = program.q_start
@@ -750,59 +795,82 @@ class FusedEngine(GradingEngine):
         out_slots = program.output_slots.astype(np.int32)
         d_slots = program.d_slots.astype(np.int32)
         num_flops = len(d_slots)
-
-        # Column block sized so the touched rows stay cache-resident.
-        block = max(32, min(4096, 1_200_000 // max(1, program.num_slots * 8)))
+        nthreads = kernel.threads
 
         values = np.zeros((program.num_slots, num_words), dtype=np.uint64)
         if len(program.ones_rows):
             values[program.ones_rows, :] = _ONES
         out_diff = np.zeros(num_words, dtype=np.uint64)
         state_diff = np.zeros(num_words, dtype=np.uint64)
-        d_scratch = np.empty(num_flops * block, dtype=np.uint64)
+        d_scratch = np.empty(
+            num_flops * (num_words + nthreads), dtype=np.uint64
+        )
 
-        injected = np.zeros(num_words, dtype=np.uint64)
+        # per packed position: does the lane still await fail / vanish?
         not_failed = np.zeros(num_words, dtype=np.uint64)
         not_vanished = np.zeros(num_words, dtype=np.uint64)
+        lane_map = np.empty(num_words * 64, dtype=np.int64)
 
+        grade_cycle = kernel.grade_cycle
+        compact_rows = kernel.compact_rows
         starts = lanes.starts
         ends = lanes.ends
-        low = 0
-        high = 0
+        lane_q = lanes.lane_q
+        one = np.uint64(1)
+
+        packed = 0  # packed positions in use (live + not-yet-compacted)
+        live = 0  # unresolved lanes among them
+        n_act = 0  # active word columns: ceil(packed / 64)
+        repacks = 0
         executed = 0
 
         for cycle in range(num_cycles):
-            # activate new columns (seeded golden) and inject faults
-            if ends[cycle] > starts[cycle]:
-                new_high = (ends[cycle] + 63) // 64
-                if new_high > high:
-                    values[q_start:q_stop, high:new_high] = state_masks[cycle][
-                        :, None
-                    ]
-                    not_failed[high:new_high] = valid[high:new_high]
-                    not_vanished[high:new_high] = valid[high:new_high]
-                    high = new_high
-                sl = slice(starts[cycle], ends[cycle])
-                np.bitwise_or.at(injected, lanes.lane_word[sl], lanes.lane_bit[sl])
+            # plain ints: numpy scalars would poison the shift arithmetic
+            first, last = int(starts[cycle]), int(ends[cycle])
+            count = last - first
+            if count:
+                # Seed the new positions with this cycle's golden state
+                # (mask-merged: boundary words may hold live lanes),
+                # then flip each injected flop bit.
+                new_packed = packed + count
+                lo_word = packed >> 6
+                n_act = (new_packed + 63) >> 6
+                golden_col = state_masks[cycle]
+                for word in range(lo_word, n_act):
+                    lo_bit = max(packed - (word << 6), 0)
+                    hi_bit = min(new_packed - (word << 6), 64)
+                    new_bits = np.uint64(
+                        ((1 << hi_bit) - (1 << lo_bit))
+                        & 0xFFFFFFFFFFFFFFFF
+                    )
+                    column = values[q_start:q_stop, word]
+                    values[q_start:q_stop, word] = (column & ~new_bits) | (
+                        golden_col & new_bits
+                    )
+                    not_failed[word] |= new_bits
+                    not_vanished[word] |= new_bits
+                positions = np.arange(packed, new_packed, dtype=np.int64)
                 np.bitwise_xor.at(
                     values,
-                    (lanes.lane_q[sl], lanes.lane_word[sl]),
-                    lanes.lane_bit[sl],
+                    (lane_q[first:last], positions >> 6),
+                    np.left_shift(one, (positions & 63).astype(np.uint64)),
                 )
+                lane_map[packed:new_packed] = np.arange(first, last, dtype=np.int64)
+                packed = new_packed
+                live += count
 
-            if low == high:
-                if ends[cycle] == num_faults:
+            if live == 0:
+                if last == num_faults:
                     executed = cycle
                     break
                 continue
             executed = cycle + 1
 
-            kernel(
+            grade_cycle(
                 values.ctypes.data,
                 num_words,
-                low,
-                high,
-                block,
+                0,
+                n_act,
                 ops.ctypes.data,
                 len(ops),
                 in_masks[cycle].ctypes.data,
@@ -819,35 +887,71 @@ class FusedEngine(GradingEngine):
                 d_scratch.ctypes.data,
             )
 
-            newly_failed = (
-                out_diff[low:high] & not_failed[low:high] & injected[low:high]
-            )
+            window_nf = not_failed[:n_act]
+            newly_failed = out_diff[:n_act] & window_nf
             if newly_failed.any():
                 bits = np.unpackbits(
                     newly_failed.view(np.uint8), bitorder="little"
                 )
-                fail_sorted[np.nonzero(bits)[0] + low * 64] = cycle
-                not_failed[low:high] &= ~newly_failed
+                fail_sorted[lane_map[np.nonzero(bits)[0]]] = cycle
+                window_nf &= ~newly_failed
 
-            same = ~state_diff[low:high]
-            newly_vanished = same & not_vanished[low:high] & injected[low:high]
+            window_nv = not_vanished[:n_act]
+            newly_vanished = ~state_diff[:n_act] & window_nv
             if newly_vanished.any():
                 bits = np.unpackbits(
                     newly_vanished.view(np.uint8), bitorder="little"
                 )
-                vanish_sorted[np.nonzero(bits)[0] + low * 64] = cycle
-                not_vanished[low:high] &= ~newly_vanished
+                hits = np.nonzero(bits)[0]
+                vanish_sorted[lane_map[hits]] = cycle
+                window_nv &= ~newly_vanished
+                # A vanished lane tracks golden forever, so it can never
+                # fail later — clearing it here keeps its (now possibly
+                # stale) bits inert through skipped cycles and repacks.
+                window_nf &= ~newly_vanished
+                live -= len(hits)
 
-            # retire fully re-converged columns; exit once nothing
-            # unresolved remains and no injections are due
-            while low < high and not_vanished[low] == 0:
-                low += 1
-            if ends[cycle] == num_faults and low == high:
-                executed = cycle + 1
+            if live == 0 and last == num_faults:
                 break
-        else:
-            executed = num_cycles
-        return executed
+
+            # Repack once 1/16 of the packed lanes (and at least a
+            # word's worth) have resolved: squeeze the kept bits of the
+            # flop rows and the fail bookkeeping to the front, remap.
+            dead = packed - live
+            if dead >= 64 and dead * 16 >= packed:
+                bits = np.unpackbits(
+                    window_nv.view(np.uint8), bitorder="little"
+                )
+                kept = np.nonzero(bits)[0]
+                compact_rows(
+                    values.ctypes.data,
+                    num_words,
+                    q_start,
+                    q_stop,
+                    not_vanished.ctypes.data,
+                    n_act,
+                )
+                compact_rows(
+                    not_failed.ctypes.data,
+                    n_act,
+                    0,
+                    1,
+                    not_vanished.ctypes.data,
+                    n_act,
+                )
+                lane_map[: len(kept)] = lane_map[kept]
+                packed = live
+                old_n_act = n_act
+                n_act = (packed + 63) >> 6
+                not_failed[n_act:old_n_act] = 0
+                not_vanished[:n_act] = _ONES
+                if packed & 63:
+                    not_vanished[n_act - 1] = np.uint64(
+                        (1 << (packed & 63)) - 1
+                    )
+                not_vanished[n_act:old_n_act] = 0
+                repacks += 1
+        return executed, {"repacks": repacks, "threads": nthreads}
 
     # ------------------------------------------------------------------
     # fallback path: prepared full-width numpy plan
@@ -862,7 +966,7 @@ class FusedEngine(GradingEngine):
         shape: tuple,
         fail_sorted: np.ndarray,
         vanish_sorted: np.ndarray,
-    ) -> int:
+    ) -> tuple:
         del kernel  # unused; same signature as _run_native
         in_masks, out_masks, state_masks = masks
         num_faults, num_words, num_cycles = shape
@@ -923,4 +1027,4 @@ class FusedEngine(GradingEngine):
             if ends[cycle] == num_faults and not not_vanished.any():
                 executed = cycle + 1
                 break
-        return executed
+        return executed, {}

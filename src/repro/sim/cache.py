@@ -1,4 +1,4 @@
-"""Session-scoped simulation caches.
+"""Simulation artifact caches: per-session and process-shared on disk.
 
 Every experiment in the repo grades the same circuit/testbench pair
 several times (Table 2, the classification split, the speed comparison,
@@ -7,74 +7,346 @@ re-running the golden trace each time is pure waste: both depend only on
 the netlist (and, for the trace, the stimulus), not on the fault list or
 the technique.
 
-This module keeps both artifacts in weak, identity-keyed caches:
+Two layers share one key space:
 
-* :func:`compiled_for`   — netlist -> :class:`CompiledNetlist`
-* :func:`golden_for`     — (netlist, stimulus vectors) -> :class:`GoldenTrace`
+* **Session caches** — :func:`compiled_for` and :func:`golden_for`
+  memoize per process, keyed by *content digests*: the netlist's
+  canonical text (:func:`netlist_digest`) and the testbench's
+  :meth:`~repro.sim.vectors.Testbench.stimulus_digest`. Digest keys mean
+  two distinct :class:`Netlist` objects describing the same circuit hit
+  the same entry — the property the pooled runner relies on. Both caches
+  evict oldest-first past a bound, so long sweeps over many circuits
+  don't pin every artifact forever. Treat netlists as frozen once
+  simulation starts (the rest of the library already does): mutating one
+  after its digest is memoized serves stale entries.
+* **Disk cache** — :class:`DiskArtifactCache` persists compiled plans
+  and golden traces under a content-keyed directory tree (netlist digest
+  x stimulus digest), so pool workers and repeated runs skip the warmup
+  instead of re-deriving it per process. Golden traces are stored as
+  ``.npy`` byte matrices and opened read-only with ``mmap``; every
+  payload carries a SHA-256 in a sidecar ``meta.json`` and a corrupted
+  or truncated entry is silently rebuilt, never trusted. Artifacts
+  below :data:`DISK_MIN_CYCLES` / :data:`DISK_MIN_FLOPS` stay
+  session-only — the disk layer exists for campaign-scale circuits, not
+  for the thousands of tiny randomized netlists the test suite makes.
 
-Keys are *identities*: mutating a netlist after it has been compiled will
-serve stale entries, so treat netlists as frozen once simulation starts
-(the rest of the library already does). Entries die with their netlist;
-:func:`clear_caches` drops everything eagerly (benchmarks use it to
-measure cold paths).
+``REPRO_CACHE_DIR`` overrides the cache root (default
+``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``); ``REPRO_DISK_CACHE=0``
+disables the disk layer entirely. :func:`clear_caches` drops the
+session layer only.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.netlist.netlist import Netlist
+from repro.netlist.textio import dumps_netlist
 from repro.sim.compile import CompiledNetlist, compile_netlist
 from repro.sim.cycle import GoldenTrace, run_golden
 from repro.sim.vectors import Testbench
 
-_COMPILED: "WeakKeyDictionary[Netlist, CompiledNetlist]" = WeakKeyDictionary()
-_GOLDEN: "WeakKeyDictionary[Netlist, Dict[str, GoldenTrace]]" = (
-    WeakKeyDictionary()
-)
+#: bump to invalidate every persisted artifact (format or semantics change)
+CACHE_SCHEMA = 1
+
+#: disk-layer thresholds: smaller scenarios stay session-only
+DISK_MIN_CYCLES = 32
+DISK_MIN_FLOPS = 8
+
+#: session bounds (entries, oldest evicted first)
+_MAX_COMPILED = 64
+_MAX_GOLDEN = 256
+
+_DIGESTS: "WeakKeyDictionary[Netlist, str]" = WeakKeyDictionary()
+_COMPILED: Dict[str, CompiledNetlist] = {}
+_GOLDEN: Dict[Tuple[str, str], GoldenTrace] = {}
+
+
+def netlist_digest(netlist: Netlist) -> str:
+    """Content digest of a netlist's canonical text, memoized per object."""
+    try:
+        return _DIGESTS[netlist]
+    except KeyError:
+        payload = f"schema{CACHE_SCHEMA}\n{dumps_netlist(netlist)}"
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        _DIGESTS[netlist] = digest
+        return digest
+
+
+def _evict_oldest(cache: Dict, bound: int) -> None:
+    while len(cache) >= bound:
+        del cache[next(iter(cache))]
+
+
+# ----------------------------------------------------------------------
+# disk layer
+# ----------------------------------------------------------------------
+
+
+def _ints_to_matrix(words, row_bytes: int) -> "np.ndarray":  # noqa: F821
+    import numpy as np
+
+    matrix = np.empty((len(words), row_bytes), dtype=np.uint8)
+    for index, word in enumerate(words):
+        matrix[index] = np.frombuffer(
+            word.to_bytes(row_bytes, "little"), dtype=np.uint8
+        )
+    return matrix
+
+
+def _matrix_to_ints(matrix) -> list:
+    return [
+        int.from_bytes(matrix[index].tobytes(), "little")
+        for index in range(matrix.shape[0])
+    ]
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write(path: str, payload: bytes) -> None:
+    handle, temp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".tmp-", suffix=os.path.basename(path)
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(payload)
+        os.replace(temp, path)
+    except OSError:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
+
+
+class DiskArtifactCache:
+    """Content-keyed on-disk store for compiled plans and golden traces.
+
+    Layout (under ``root``)::
+
+        <nd[:2]>/<nd>/compiled.pkl + compiled.meta.json
+        <nd[:2]>/<nd>/<sd>/golden_{outputs,states}.npy + meta.json
+
+    where ``nd`` is the netlist digest and ``sd`` the stimulus digest.
+    Loads verify payload SHA-256s against the sidecar metadata and
+    return ``None`` on any mismatch, unreadable file or schema change —
+    callers then rebuild and overwrite. Writes are atomic
+    (write-to-temp + rename), so concurrent workers never observe torn
+    artifacts; last writer wins with identical content.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+
+    # -- paths ---------------------------------------------------------
+    def _netlist_dir(self, nd: str) -> str:
+        return os.path.join(self.root, nd[:2], nd)
+
+    def _golden_dir(self, nd: str, sd: str) -> str:
+        return os.path.join(self._netlist_dir(nd), sd)
+
+    # -- golden traces -------------------------------------------------
+    def load_golden(self, nd: str, sd: str) -> Optional[GoldenTrace]:
+        """The stored golden trace, or None when absent/corrupt."""
+        import numpy as np
+
+        directory = self._golden_dir(nd, sd)
+        meta_path = os.path.join(directory, "meta.json")
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if meta.get("schema") != CACHE_SCHEMA:
+            return None
+        try:
+            trace = GoldenTrace(num_cycles=int(meta["num_cycles"]))
+            for name, target in (("outputs", trace.outputs),
+                                 ("states", trace.states)):
+                path = os.path.join(directory, f"golden_{name}.npy")
+                if _sha256_file(path) != meta[f"{name}_sha256"]:
+                    return None
+                matrix = np.load(path, mmap_mode="r")
+                target.extend(_matrix_to_ints(matrix))
+            if (
+                len(trace.outputs) != trace.num_cycles
+                or len(trace.states) != trace.num_cycles + 1
+            ):
+                return None
+            return trace
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def store_golden(self, nd: str, sd: str, golden: GoldenTrace) -> None:
+        """Persist a golden trace; failures are silently ignored."""
+        import io
+
+        import numpy as np
+
+        directory = self._golden_dir(nd, sd)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            meta = {"schema": CACHE_SCHEMA, "num_cycles": golden.num_cycles}
+            for name, words in (("outputs", golden.outputs),
+                                ("states", golden.states)):
+                row_bytes = max(
+                    1, (max(words, default=0).bit_length() + 7) // 8
+                )
+                buffer = io.BytesIO()
+                np.save(buffer, _ints_to_matrix(words, row_bytes))
+                payload = buffer.getvalue()
+                meta[f"{name}_sha256"] = hashlib.sha256(payload).hexdigest()
+                _atomic_write(
+                    os.path.join(directory, f"golden_{name}.npy"), payload
+                )
+            _atomic_write(
+                os.path.join(directory, "meta.json"),
+                json.dumps(meta, indent=2).encode(),
+            )
+        except OSError:
+            pass
+
+    # -- compiled plans ------------------------------------------------
+    def load_compiled(self, nd: str) -> Optional[CompiledNetlist]:
+        """The stored compiled plan, or None when absent/corrupt."""
+        directory = self._netlist_dir(nd)
+        meta_path = os.path.join(directory, "compiled.meta.json")
+        pkl_path = os.path.join(directory, "compiled.pkl")
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if meta.get("schema") != CACHE_SCHEMA:
+            return None
+        try:
+            if _sha256_file(pkl_path) != meta["sha256"]:
+                return None
+            with open(pkl_path, "rb") as handle:
+                compiled = pickle.load(handle)
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError,
+                AttributeError, ImportError):
+            return None
+        return compiled if isinstance(compiled, CompiledNetlist) else None
+
+    def store_compiled(self, nd: str, compiled: CompiledNetlist) -> None:
+        """Persist a compiled plan; failures are silently ignored."""
+        directory = self._netlist_dir(nd)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            payload = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+            _atomic_write(os.path.join(directory, "compiled.pkl"), payload)
+            _atomic_write(
+                os.path.join(directory, "compiled.meta.json"),
+                json.dumps(
+                    {
+                        "schema": CACHE_SCHEMA,
+                        "sha256": hashlib.sha256(payload).hexdigest(),
+                    }
+                ).encode(),
+            )
+        except (OSError, pickle.PicklingError):
+            pass
+
+
+def cache_root() -> str:
+    """The artifact cache root directory (not created by this call)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return os.path.join(override, "artifacts")
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro", "artifacts")
+
+
+def disk_cache() -> Optional[DiskArtifactCache]:
+    """The process-wide disk cache, or None when disabled.
+
+    Re-resolved on every call so tests (and callers) can repoint
+    ``REPRO_CACHE_DIR`` without reloading the module; construction is
+    just a path join, so there is nothing worth memoizing.
+    """
+    if os.environ.get("REPRO_DISK_CACHE", "1") == "0":
+        return None
+    return DiskArtifactCache(cache_root())
+
+
+# ----------------------------------------------------------------------
+# session layer
+# ----------------------------------------------------------------------
 
 
 def compiled_for(netlist_or_compiled) -> CompiledNetlist:
-    """Compile ``netlist_or_compiled`` once per session.
+    """Compile ``netlist_or_compiled`` once per content digest.
 
-    Accepts either a :class:`Netlist` (cached by identity) or an existing
+    Accepts either a :class:`Netlist` (cached by digest, backed by the
+    disk layer for campaign-scale circuits) or an existing
     :class:`CompiledNetlist` (returned unchanged), mirroring the calling
     convention of :func:`repro.sim.parallel.grade_faults`.
     """
     if isinstance(netlist_or_compiled, CompiledNetlist):
         return netlist_or_compiled
+    netlist = netlist_or_compiled
+    digest = netlist_digest(netlist)
     try:
-        return _COMPILED[netlist_or_compiled]
+        return _COMPILED[digest]
     except KeyError:
-        compiled = compile_netlist(netlist_or_compiled)
-        _COMPILED[netlist_or_compiled] = compiled
-        return compiled
+        pass
+    disk = disk_cache() if netlist.num_ffs >= DISK_MIN_FLOPS else None
+    compiled = disk.load_compiled(digest) if disk is not None else None
+    if compiled is None:
+        compiled = compile_netlist(netlist)
+        if disk is not None:
+            disk.store_compiled(digest, compiled)
+    _evict_oldest(_COMPILED, _MAX_COMPILED)
+    _COMPILED[digest] = compiled
+    return compiled
 
 
 def golden_for(compiled: CompiledNetlist, testbench: Testbench) -> GoldenTrace:
     """Run (or reuse) the golden trace for ``compiled`` under ``testbench``.
 
-    Cached per source netlist and exact stimulus, so campaigns, eval
-    tables and benchmarks sharing one circuit/testbench pay for a single
-    golden run per session. The stimulus key is
-    :meth:`Testbench.stimulus_digest` — computed once per testbench
-    object and memoized there — rather than a per-lookup
-    ``tuple(vectors)`` (which rebuilt and re-hashed the entire stimulus,
-    thousands of ints for paper-scale benches, on every cache hit).
+    Keyed by (netlist digest, stimulus digest) — the exact key the disk
+    layer uses, so in-process callers, pooled workers and separate runs
+    of the same campaign all resolve to one artifact.
     """
-    per_netlist = _GOLDEN.setdefault(compiled.source, {})
-    key = testbench.stimulus_digest()
+    key = (netlist_digest(compiled.source), testbench.stimulus_digest())
     try:
-        return per_netlist[key]
+        return _GOLDEN[key]
     except KeyError:
+        pass
+    disk = (
+        disk_cache()
+        if testbench.num_cycles >= DISK_MIN_CYCLES
+        and compiled.num_flops >= DISK_MIN_FLOPS
+        else None
+    )
+    golden = disk.load_golden(*key) if disk is not None else None
+    if golden is None:
         golden = run_golden(compiled, testbench)
-        per_netlist[key] = golden
-        return golden
+        if disk is not None:
+            disk.store_golden(key[0], key[1], golden)
+    _evict_oldest(_GOLDEN, _MAX_GOLDEN)
+    _GOLDEN[key] = golden
+    return golden
 
 
 def clear_caches() -> None:
-    """Drop every cached compiled netlist, golden trace and fused program."""
+    """Drop every session-cached compiled netlist, golden trace and fused
+    program (the disk layer is untouched)."""
     from repro.sim.backends.fused import clear_program_cache
 
     _COMPILED.clear()

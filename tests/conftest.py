@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
 
 from repro.netlist.builder import NetlistBuilder
@@ -53,6 +56,28 @@ def build_sticky():
     observe = b.input("observe")
     b.output_net("alarm", b.and_(q, observe))
     return b.build()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache():
+    """Point the on-disk artifact cache at a throwaway directory.
+
+    Tests grade campaign-scale circuits (b14 and friends) whose compiled
+    plans and golden traces would otherwise land in the user's real
+    ``~/.cache/repro`` — pollution at best, cross-test coupling at
+    worst. Session scope keeps cache *hits* within one test run
+    exercised. Tests that set ``REPRO_CACHE_DIR`` themselves (the disk
+    cache suite) override per-test via monkeypatch as usual.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-test-cache-") as root:
+        os.environ["REPRO_CACHE_DIR"] = root
+        try:
+            yield
+        finally:
+            os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 @pytest.fixture

@@ -1,0 +1,107 @@
+"""Differential tests for the vectorized / threaded native kernel.
+
+The fused engine's C kernel went multi-word: fault populations wider
+than 64 lanes span several uint64 words per flop row, dead lanes are
+compacted away mid-campaign, and an optional persistent thread pool
+splits the word range across workers. Every one of those paths must be
+bit-exact against the pure-Python engines — these tests force each of
+them on random netlists whose populations genuinely exceed one word.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.model import exhaustive_fault_list
+from repro.sim.backends import get_engine
+from repro.sim.backends._native import (
+    configure_threads,
+    default_threads,
+    native_kernel,
+)
+from repro.sim.parallel import grade_faults
+from repro.sim.vectors import random_testbench
+from tests.property.randnet import random_netlist
+
+pytestmark = pytest.mark.skipif(
+    native_kernel() is None,
+    reason="native kernel unavailable (no C compiler or REPRO_FUSED_NATIVE=0)",
+)
+
+
+def _wide_scenario(seed: int):
+    """A random circuit whose fault population spans many lane words.
+
+    65+ flops x 40 cycles puts thousands of faults in flight, so the
+    kernel runs multi-word rows, triggers mid-campaign lane compaction
+    and (when enabled) gives every pool thread a non-trivial chunk.
+    """
+    netlist = random_netlist(
+        seed, min_flops=65, max_flops=96, max_gates=220, max_inputs=6
+    )
+    bench = random_testbench(netlist, 40, seed=1000 + seed)
+    faults = exhaustive_fault_list(netlist, bench.num_cycles)
+    assert len(faults) > 64  # must exceed one 64-lane word
+    return netlist, bench, faults
+
+
+@pytest.fixture
+def restore_threads():
+    """Put the kernel's thread count back however a test leaves it."""
+    yield
+    configure_threads(default_threads())
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_wide_population_bit_exact_vs_python_engines(seed):
+    netlist, bench, faults = _wide_scenario(seed)
+    fused = grade_faults(netlist, bench, faults, backend="fused")
+    stats = get_engine("fused").last_stats
+    assert stats.get("native"), "wide scenario must run the native kernel"
+    for reference_backend in ("numpy", "bigint"):
+        reference = grade_faults(
+            netlist, bench, faults, backend=reference_backend
+        )
+        assert fused.fail_cycles == reference.fail_cycles, reference_backend
+        assert fused.vanish_cycles == reference.vanish_cycles, reference_backend
+
+
+@pytest.mark.parametrize("threads", [2, 3])
+@pytest.mark.parametrize("seed", [5, 6])
+def test_threaded_kernel_bit_exact(seed, threads, restore_threads):
+    netlist, bench, faults = _wide_scenario(seed)
+    reference = grade_faults(netlist, bench, faults, backend="numpy")
+    configure_threads(threads)
+    fused = grade_faults(netlist, bench, faults, backend="fused")
+    stats = get_engine("fused").last_stats
+    assert stats.get("native")
+    assert stats.get("threads") == threads
+    assert fused.fail_cycles == reference.fail_cycles
+    assert fused.vanish_cycles == reference.vanish_cycles
+
+
+def test_thread_count_changes_do_not_change_results(restore_threads):
+    netlist, bench, faults = _wide_scenario(7)
+    outcomes = []
+    for threads in (1, 2, 4):
+        configure_threads(threads)
+        result = grade_faults(netlist, bench, faults, backend="fused")
+        outcomes.append((result.fail_cycles, result.vanish_cycles))
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+def test_compaction_reported_and_exact_on_b14_sample():
+    """A campaign long enough to retire lanes mid-flight compacts them
+    (visible in last_stats) without perturbing a single verdict."""
+    netlist = random_netlist(
+        11, min_flops=70, max_flops=90, max_gates=200, max_inputs=5
+    )
+    bench = random_testbench(netlist, 64, seed=77)
+    faults = exhaustive_fault_list(netlist, bench.num_cycles)
+    fused = grade_faults(netlist, bench, faults, backend="fused")
+    stats = get_engine("fused").last_stats
+    assert stats.get("native")
+    assert "repacks" in stats
+    reference = grade_faults(netlist, bench, faults, backend="numpy")
+    assert fused.fail_cycles == reference.fail_cycles
+    assert fused.vanish_cycles == reference.vanish_cycles
