@@ -8,13 +8,14 @@ Usage::
     PYTHONPATH=src python scripts/bench_report.py [--output BENCH_oracle.json]
     PYTHONPATH=src python scripts/bench_report.py --check BENCH_oracle.json
 
-The JSON's top level is a snapshot of the latest run — seconds and
-us/fault per backend (plus the fused engine's pure-numpy fallback
-path), speedups over the ``numpy`` reference, and warmup-separated
-sharded-runner rows. It also carries an append-only ``history`` list:
-every run adds a timestamped entry recording the machine fingerprint,
-kernel flags (native / thread count) and the headline numbers, so the
-trajectory survives rewrites of the snapshot.
+The JSON carries an append-only ``history`` list: every run adds a
+timestamped entry recording the machine fingerprint, kernel flags
+(native / thread count), seconds and us/fault per backend (plus the
+fused engine's pure-numpy fallback path) and warmup-separated
+sharded-runner rows for every ``--workers`` count measured. The
+top-level summary fields are **derived from the newest history entry
+on write** — they exist for greppability and old tooling, but the
+history tail is the source of truth, so the two can never disagree.
 
 The runner rows grade a *fixed shard plan* at every worker count and
 discard a warmup pass first (recorded as ``warmup_seconds``): the
@@ -60,7 +61,8 @@ from repro.sim.backends.fused import FusedEngine  # noqa: E402
 from repro.sim.cache import compiled_for, golden_for  # noqa: E402
 from repro.sim.parallel import DEFAULT_BACKEND, grade_faults  # noqa: E402
 
-#: worker counts measured for the sharded-runner (orchestration) rows
+#: default worker counts for the sharded-runner (orchestration) rows —
+#: override with ``--workers 1,2,4``
 RUNNER_WORKERS = (1, default_pool_workers())
 #: one shard plan for every runner row — the workers=1 default plan, so
 #: the rows differ only in process scaling, never in per-shard overhead
@@ -127,13 +129,39 @@ def best_prior_for_machine(baseline: dict, fingerprint: dict):
     return min(candidates) if candidates else None
 
 
+def baseline_backend_us(baseline: dict, name: str):
+    """One backend's baseline us/fault, from either JSON layout.
+
+    New layout: the newest ``history`` entry is the source of truth (its
+    ``backends`` map may hold ``{seconds, us_per_fault}`` rows or bare
+    us/fault scalars, depending on vintage). Old layout: only the
+    top-level ``backends`` snapshot exists. Returns ``None`` when the
+    backend was never measured.
+    """
+    for entry in reversed(baseline.get("history") or []):
+        row = entry.get("backends", {}).get(name)
+        if isinstance(row, dict):
+            return float(row["us_per_fault"])
+        if row is not None:
+            return float(row)
+        break  # the tail entry is authoritative; do not walk further
+    row = baseline.get("backends", {}).get(name)
+    return float(row["us_per_fault"]) if row else None
+
+
 def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     """CI gate: fail when the fused engine's us/fault regresses more than
     ``threshold`` (fractional) against the committed baseline."""
     with open(baseline_path) as handle:
         baseline = json.load(handle)
-    baseline_fused = baseline["backends"]["fused"]["us_per_fault"]
-    baseline_numpy = baseline["backends"]["numpy"]["us_per_fault"]
+    baseline_fused = baseline_backend_us(baseline, "fused")
+    baseline_numpy = baseline_backend_us(baseline, "numpy")
+    if baseline_fused is None or baseline_numpy is None:
+        print(
+            f"baseline {baseline_path} records no fused/numpy measurement",
+            file=sys.stderr,
+        )
+        return 1
 
     circuit = build_b14()
     bench = b14_program_testbench(
@@ -164,9 +192,9 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
             # Apples to apples: without a C compiler the fused engine
             # runs its numpy plan, which the committed fused row did not
             # measure.
-            plan_row = baseline["backends"].get("fused (numpy plan)")
-            if plan_row:
-                baseline_fused = plan_row["us_per_fault"]
+            plan_us = baseline_backend_us(baseline, "fused (numpy plan)")
+            if plan_us is not None:
+                baseline_fused = plan_us
                 print(
                     "no native kernel here; gating vs the plan-path baseline "
                     f"({baseline_fused:.3f} us/fault)"
@@ -196,14 +224,16 @@ def check_regression(baseline_path: str, threshold: float, repeats: int) -> int:
     return 0
 
 
-def measure_runner_rows(reference: dict, num_faults: int, repeats: int):
+def measure_runner_rows(
+    reference: dict, num_faults: int, repeats: int, worker_counts=RUNNER_WORKERS
+):
     """Sharded-runner rows: the same campaign through the orchestration
     layer at several worker counts, one fixed shard plan, steady state
     separated from warmup. Returns ``None`` on a bit-exactness failure.
     """
     spec = CampaignSpec(circuit="b14", technique="time_multiplexed")
     runner_rows = {}
-    for workers in RUNNER_WORKERS:
+    for workers in worker_counts:
         with CampaignRunner(workers=workers, shards=RUNNER_SHARDS) as runner:
             started = time.perf_counter()
             merged = runner.grade(spec)  # warmup: pool + caches, discarded
@@ -235,10 +265,49 @@ def measure_runner_rows(reference: dict, num_faults: int, repeats: int):
     return runner_rows
 
 
+def summary_from_entry(entry: dict) -> dict:
+    """The top-level snapshot fields, derived from one history entry.
+
+    The summary used to be written independently of the history append,
+    which let the two drift; deriving it here makes the newest history
+    entry the single source of truth.
+    """
+    seconds = entry["backends_seconds"]
+    numpy_seconds = seconds["numpy"]
+    return {
+        "circuit": entry["circuit"],
+        "num_faults": entry["num_faults"],
+        "num_cycles": entry["num_cycles"],
+        "default_backend": entry["default_backend"],
+        "fused_native_kernel": entry["kernel"]["native"],
+        "fused_threads": entry["kernel"]["threads"],
+        "python": entry["python"],
+        "machine": entry["machine"]["arch"],
+        "runner_shards": entry["runner_shards"],
+        "sharded_runner": entry["sharded_runner"],
+        "backends": {
+            name: {
+                "seconds": seconds[name],
+                "us_per_fault": us_per_fault,
+                "speedup_vs_numpy": round(numpy_seconds / seconds[name], 2),
+            }
+            for name, us_per_fault in entry["backends"].items()
+        },
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_oracle.json")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated worker counts for the sharded-runner rows "
+        f"(default: {','.join(map(str, RUNNER_WORKERS))}); every count "
+        "measured lands in the history entry",
+    )
     parser.add_argument(
         "--check",
         metavar="BASELINE",
@@ -293,7 +362,14 @@ def main() -> int:
             print(f"ERROR: backend {name!r} disagrees with numpy", file=sys.stderr)
             return 1
 
-    runner_rows = measure_runner_rows(reference, len(faults), args.repeats)
+    worker_counts = RUNNER_WORKERS
+    if args.workers:
+        worker_counts = tuple(
+            int(part) for part in args.workers.split(",") if part.strip()
+        )
+    runner_rows = measure_runner_rows(
+        reference, len(faults), args.repeats, worker_counts
+    )
     if runner_rows is None:
         return 1
 
@@ -309,39 +385,27 @@ def main() -> int:
             "machine": machine_fingerprint(),
             "python": platform.python_version(),
             "kernel": flags,
+            "circuit": circuit.name,
+            "num_faults": len(faults),
+            "num_cycles": bench.num_cycles,
+            "default_backend": DEFAULT_BACKEND,
             "fused_us_per_fault": rows["fused"]["us_per_fault"],
             "numpy_us_per_fault": rows["numpy"]["us_per_fault"],
             "backends": {
                 name: row["us_per_fault"] for name, row in rows.items()
             },
+            "backends_seconds": {
+                name: row["seconds"] for name, row in rows.items()
+            },
             "sharded_runner": runner_rows,
             "runner_shards": RUNNER_SHARDS,
+            "runner_workers": list(worker_counts),
         }
     )
 
-    report = {
-        "circuit": circuit.name,
-        "num_faults": len(faults),
-        "num_cycles": bench.num_cycles,
-        "default_backend": DEFAULT_BACKEND,
-        "fused_native_kernel": flags["native"],
-        "fused_threads": flags["threads"],
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "runner_shards": RUNNER_SHARDS,
-        "sharded_runner": runner_rows,
-        "backends": {
-            name: {
-                "seconds": row["seconds"],
-                "us_per_fault": row["us_per_fault"],
-                "speedup_vs_numpy": round(
-                    reference["seconds"] / row["seconds"], 2
-                ),
-            }
-            for name, row in rows.items()
-        },
-        "history": history,
-    }
+    # The top level is derived from the history tail, never written
+    # independently — the snapshot and the trajectory cannot disagree.
+    report = {**summary_from_entry(history[-1]), "history": history}
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -3,7 +3,10 @@
 * :mod:`repro.run.spec` — :class:`CampaignSpec`, the frozen serializable
   description of one campaign, plus the ``matrix()`` sweep expander.
 * :mod:`repro.run.runner` — :class:`CampaignRunner`, the sharded,
-  multi-process, resumable executor.
+  transport-pluggable, resumable executor.
+* :mod:`repro.run.transport` — shard transports: in-process ``serial``,
+  process-pool ``local``, and remote-daemon ``tcp`` (plus the wire
+  protocol and the ``repro worker`` daemon).
 * :mod:`repro.run.store` — :class:`ResultsStore`, the per-campaign JSONL
   checkpoint store under ``runs/<campaign-id>/``.
 * :mod:`repro.run.worker` — worker-process shard grading (per-process
@@ -15,6 +18,12 @@
 from repro.run.runner import CampaignRunner, ShardWindow, plan_windows
 from repro.run.spec import CampaignSpec, Scenario
 from repro.run.store import ResultsStore, ShardRecord
+from repro.run.transport import (
+    ShardTransport,
+    available_transports,
+    create_transport,
+    register_transport,
+)
 
 __all__ = [
     "CampaignRunner",
@@ -22,6 +31,10 @@ __all__ = [
     "ResultsStore",
     "Scenario",
     "ShardRecord",
+    "ShardTransport",
     "ShardWindow",
+    "available_transports",
+    "create_transport",
     "plan_windows",
+    "register_transport",
 ]

@@ -21,6 +21,10 @@ The subcommands replace the plumbing the example scripts used to carry:
   statistics (``--json`` for machines).
 * ``bench``  — wall-clock of the sharded runner at several worker
   counts; the orchestration-overhead row of the perf trajectory.
+* ``worker`` — a shard-grading daemon (``--listen HOST:PORT``) that
+  ``run``/``sweep`` on another host dispatch to via ``--hosts``.
+* ``workers ping`` — fleet liveness, cache warmth and kernel flags for
+  a ``--hosts`` list (``--json`` for machines; exit 1 on any down host).
 
 Every subcommand accepts the spec fields as flags — including
 ``--fault-model`` (seu, mbu:<k>, stuck_at_0/1, intermittent[:p:d]) and
@@ -37,6 +41,9 @@ describe can be launched, resumed and reported from the shell::
     python -m repro report --circuit b09 --no-crossover
     python -m repro sampling-error --circuits b04 b06
     python -m repro bench --workers 1 4
+    python -m repro worker --listen 0.0.0.0:7400        # on each host
+    python -m repro run --circuit b14 --hosts a:7400,b:7400
+    python -m repro workers ping --hosts a:7400,b:7400 --json
 """
 
 from __future__ import annotations
@@ -188,6 +195,27 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="ignore completed shards in the store and regrade",
     )
     parser.add_argument(
+        "--transport",
+        default=None,
+        help="shard transport: serial, local, or tcp (default: tcp when "
+        "--hosts is given, local when --workers >= 2, else serial)",
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="remote `repro worker` daemons to grade on (enables the tcp "
+        "transport)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-queue a shard whose TCP worker holds it longer than this "
+        "(default: trust heartbeats alone)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-shard progress"
     )
 
@@ -199,6 +227,9 @@ def _runner_from(args: argparse.Namespace) -> CampaignRunner:
         store_root=None if args.no_store else args.store,
         resume=not args.no_resume,
         progress=None if args.quiet else lambda line: print(line, flush=True),
+        transport=getattr(args, "transport", None),
+        hosts=getattr(args, "hosts", None),
+        shard_timeout=getattr(args, "shard_timeout", None),
     )
 
 
@@ -252,9 +283,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = adaptive.spec
         estimates = adaptive.estimates
         adaptive_rounds = adaptive.rounds
-        result = runner.run(spec, oracle=adaptive.oracle)
+        oracle = adaptive.oracle
+        result = runner.run(spec, oracle=oracle)
     else:
-        result = runner.run(spec)
+        oracle = runner.grade(spec)
+        result = runner.run(spec, oracle=oracle)
     elapsed = time.perf_counter() - started
     breakdown = result.breakdown
     print(result.summary())
@@ -296,6 +329,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         payload = {
             "spec": spec.to_dict(),
             "campaign_id": spec.campaign_id,
+            "transport": runner.transport_name,
+            "oracle_digest": oracle.outcome_digest(),
             "total_cycles": result.total_cycles,
             "emulation_ms": result.timing.milliseconds,
             "us_per_fault": result.timing.us_per_fault,
@@ -627,6 +662,67 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.run.transport.daemon import WorkerDaemon
+    from repro.run.transport.wire import parse_host_port
+
+    host, port = parse_host_port(args.listen)
+    daemon = WorkerDaemon(host=host, port=port, quiet=args.quiet)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.shutdown()
+    return 0
+
+
+def _cmd_workers_ping(args: argparse.Namespace) -> int:
+    from repro.run.transport.tcp import ping_hosts
+    from repro.util.tables import Table
+
+    statuses = ping_hosts(args.hosts, timeout=args.timeout)
+    if args.json:
+        print(json.dumps(statuses, indent=2, sort_keys=True))
+        return 0 if all(status["alive"] for status in statuses) else 1
+    table = Table(
+        ["host", "state", "rtt (ms)", "kernel", "campaigns", "digest h/m",
+         "shards", "uptime (s)"],
+        title=f"Worker fleet ({len(statuses)} host(s))",
+    )
+    for status in statuses:
+        if not status["alive"]:
+            table.add_row(
+                [status["host"], f"DOWN ({status['error']})",
+                 "-", "-", "-", "-", "-", "-"]
+            )
+            continue
+        kernel = status.get("kernel", {})
+        kernel_text = (
+            ("native" if kernel.get("native") else "python")
+            + f" x{kernel.get('threads', 1)}"
+        )
+        table.add_row(
+            [
+                status["host"],
+                "up",
+                f"{status['rtt_ms']:.2f}",
+                kernel_text,
+                len(status.get("campaigns_cached", [])),
+                f"{status.get('digest_hits', 0)}/"
+                f"{status.get('digest_misses', 0)}",
+                status.get("shards_graded", 0),
+                f"{status.get('uptime_s', 0):.0f}",
+            ]
+        )
+    print(table.render())
+    down = [status["host"] for status in statuses if not status["alive"]]
+    if down:
+        print(f"\n{len(down)} worker(s) unreachable: {', '.join(down)}")
+        return 1
+    return 0
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -806,6 +902,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--json", default=None, help="JSON output path")
     bench_parser.set_defaults(func=_cmd_bench)
+
+    worker_parser = commands.add_parser(
+        "worker",
+        help="run a shard-grading daemon other hosts dispatch to "
+        "(`repro run --hosts ...`)",
+    )
+    worker_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:7400",
+        metavar="HOST:PORT",
+        help="listen address (port 0 binds an ephemeral port, printed on "
+        "the startup line)",
+    )
+    worker_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-event log lines"
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
+
+    workers_parser = commands.add_parser(
+        "workers", help="manage a fleet of worker daemons"
+    )
+    workers_commands = workers_parser.add_subparsers(
+        dest="workers_command", required=True
+    )
+    ping_parser = workers_commands.add_parser(
+        "ping",
+        help="probe fleet liveness, cache warmth and kernel flags "
+        "(exit 1 if any worker is down)",
+    )
+    ping_parser.add_argument(
+        "--hosts",
+        required=True,
+        metavar="HOST:PORT,...",
+        help="worker addresses to probe",
+    )
+    ping_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-host connect/reply timeout in seconds",
+    )
+    ping_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    ping_parser.set_defaults(func=_cmd_workers_ping)
     return parser
 
 

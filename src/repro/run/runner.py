@@ -6,13 +6,18 @@ into a :class:`~repro.emu.campaign.CampaignResult` by
 1. splitting the campaign's fault list into contiguous cycle-window
    shards (fault lists are cycle-major, so windows are contiguous
    slices),
-2. grading shards concurrently in a ``ProcessPoolExecutor`` — each
-   worker rebuilds the scenario once and keeps the per-process session
-   caches warm — or in-process when ``workers <= 1``,
+2. grading shards through a pluggable
+   :class:`~repro.run.transport.ShardTransport` — in-process
+   (``serial``), on the persistent local process pool (``local``), or
+   fanned across remote ``repro worker`` daemons (``tcp``). Every
+   transport consumes a *dynamic* shard queue: idle workers pull the
+   next window, lost workers' windows are re-queued, and records stream
+   back in completion order,
 3. checkpointing every completed shard to a JSONL
    :class:`~repro.run.store.ResultsStore` (``<store_root>/<campaign-id>/``)
    so an interrupted campaign resumes without re-grading finished
-   shards, and
+   shards — on *any* transport: shard records are
+   transport-independent, and
 4. merging shard outcomes back into one
    :class:`~repro.sim.parallel.FaultGradingResult` in fault-list order
    and accounting cycles with the same vectorized functions the serial
@@ -26,13 +31,10 @@ reduction over the merged oracle.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-import repro
 from repro.emu.board import BoardModel
 from repro.emu.campaign import CampaignResult, run_campaign
 from repro.errors import CampaignError
@@ -47,6 +49,7 @@ from repro.netlist.netlist import Netlist
 from repro.run import worker
 from repro.run.spec import CampaignSpec, Scenario
 from repro.run.store import ResultsStore, ShardRecord
+from repro.run.transport import ShardTransport, create_transport
 from repro.sim.cache import compiled_for, golden_for
 from repro.sim.parallel import (
     DEFAULT_BACKEND,
@@ -116,18 +119,29 @@ class CampaignRunner:
     """Executes campaign specs, sharded and resumable.
 
     Parameters:
-        workers: grading processes. ``<= 1`` grades in-process (same
-            code path, no pool).
+        workers: grading processes for the ``local`` transport. ``<= 1``
+            grades in-process (the ``serial`` transport, same code
+            path, no pool).
         shards: shard count override; default ``SHARDS_PER_WORKER x
-            max(workers, 1)``, capped at the testbench length.
+            effective transport workers``, capped at the testbench
+            length.
         store_root: directory holding per-campaign stores; ``None``
             disables persistence (grading is kept in memory only).
         resume: reuse completed shards found in the store. ``False``
             drops them and regrades from scratch.
         progress: optional callback receiving one line per completed
             shard (the CLI passes ``print``).
-        mp_context: multiprocessing start method; defaults to ``fork``
-            where available (inherits warm caches), else ``spawn``.
+        mp_context: multiprocessing start method for the local pool;
+            defaults to ``fork`` where available (inherits warm
+            caches), else ``spawn``.
+        transport: shard transport name (``serial``/``local``/``tcp``);
+            default picks ``tcp`` when ``hosts`` is given, else
+            ``local`` when ``workers >= 2``, else ``serial``.
+        hosts: remote worker addresses for the ``tcp`` transport —
+            ``"host:port,host:port"`` or a sequence of such strings.
+        shard_timeout: seconds a TCP worker may hold one shard before
+            it is declared wedged and the shard re-queued elsewhere
+            (``None`` trusts heartbeats alone).
     """
 
     def __init__(
@@ -138,6 +152,9 @@ class CampaignRunner:
         resume: bool = True,
         progress: Optional[Callable[[str], None]] = None,
         mp_context: Optional[str] = None,
+        transport: Optional[str] = None,
+        hosts=None,
+        shard_timeout: Optional[float] = None,
     ):
         if shards is not None and shards < 1:
             raise CampaignError("shards must be at least 1")
@@ -147,42 +164,41 @@ class CampaignRunner:
         self.resume = resume
         self.progress = progress
         self.mp_context = mp_context
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.hosts = hosts
+        self.shard_timeout = shard_timeout
+        self.transport_name = transport or (
+            "tcp" if hosts else ("local" if self.workers >= 2 else "serial")
+        )
+        self._transport: Optional[ShardTransport] = None
 
     # ------------------------------------------------------------------
-    # pool lifecycle
+    # transport lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        """The persistent worker pool, created on first pooled grade.
+    def _ensure_transport(self) -> ShardTransport:
+        """The persistent shard transport, created on first grade.
 
-        Keeping the executor alive across campaigns is a large share of
+        Keeping the transport alive across campaigns is a large share of
         the multi-worker win: repeated ``grade`` calls (sweeps, bench
-        repeats, adaptive rounds) reuse warm worker processes instead of
-        paying fork + import + scenario warmup per call. The pool is
-        created *after* the parent has prewarmed the campaign artifacts,
-        so forked workers inherit every session cache.
+        repeats, adaptive rounds) reuse warm worker processes — or warm
+        remote daemons whose artifact caches already hold this
+        campaign's netlist and stimulus — instead of paying startup +
+        scenario warmup per call.
         """
-        if self._pool is None:
-            start_method = self.mp_context or (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
+        if self._transport is None:
+            self._transport = create_transport(
+                self.transport_name,
+                workers=self.workers,
+                mp_context=self.mp_context,
+                hosts=self.hosts,
+                shard_timeout=self.shard_timeout,
             )
-            context = multiprocessing.get_context(start_method)
-            package_root = os.path.dirname(os.path.dirname(repro.__file__))
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=context,
-                initializer=worker.worker_init,
-                initargs=(package_root,),
-            )
-        return self._pool
+        return self._transport
 
     def close(self) -> None:
-        """Shut the persistent worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the transport (pool / remote connections) down (idempotent)."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -201,7 +217,10 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     def plan(self, spec: CampaignSpec) -> List[ShardWindow]:
         """The shard plan this runner would use for ``spec``."""
-        num_shards = self.shards or SHARDS_PER_WORKER * max(1, self.workers)
+        num_shards = self.shards
+        if num_shards is None:
+            effective = self._ensure_transport().effective_workers()
+            num_shards = SHARDS_PER_WORKER * max(1, effective)
         return plan_windows(spec.resolved_cycles(), num_shards)
 
     # ------------------------------------------------------------------
@@ -246,7 +265,7 @@ class CampaignRunner:
                 "shards already graded"
             )
         spec_dict = spec.to_dict()
-        for record in self._grade_shards(spec_dict, pending):
+        for record in self._grade_shards(spec, spec_dict, pending):
             done[record.index] = record
             if store is not None:
                 store.append(record)
@@ -260,42 +279,17 @@ class CampaignRunner:
         return scenario, self._merge(spec, scenario, windows, done)
 
     def _grade_shards(
-        self, spec_dict: Dict, pending: Sequence[ShardWindow]
+        self,
+        spec: CampaignSpec,
+        spec_dict: Dict,
+        pending: Sequence[ShardWindow],
     ) -> Iterator[ShardRecord]:
+        """Stream completed shard records from the configured transport."""
         if not pending:
             return
-        if self.workers >= 2:
-            yield from self._grade_pool(spec_dict, pending)
-        else:
-            for window in pending:
-                yield ShardRecord.from_json_obj(
-                    worker.grade_window(
-                        spec_dict,
-                        window.index,
-                        window.start_cycle,
-                        window.end_cycle,
-                    )
-                )
-
-    def _grade_pool(
-        self, spec_dict: Dict, pending: Sequence[ShardWindow]
-    ) -> Iterator[ShardRecord]:
-        """Fan shards out to the persistent pool, yielding as they complete."""
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(
-                worker.grade_window,
-                spec_dict,
-                window.index,
-                window.start_cycle,
-                window.end_cycle,
-            )
-            for window in pending
-        }
-        while futures:
-            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-            for future in finished:
-                yield ShardRecord.from_json_obj(future.result())
+        yield from self._ensure_transport().grade_windows(
+            spec, spec_dict, pending
+        )
 
     def _merge(
         self,

@@ -341,6 +341,25 @@ class CampaignSpec:
 
         return netlist_file_digest(source)
 
+    def wire_fields(self) -> Dict:
+        """The scalar fields a remote worker needs beside the shipped
+        artifacts (netlist text + stimulus) to rebuild this campaign's
+        fault population.
+
+        Deliberately *not* the circuit name: the wire protocol is
+        content-addressed, so a worker never resolves registry names —
+        hardening, imports and parameterized circuits are all already
+        folded into the netlist text the client ships.
+        """
+        return {
+            "engine": self.engine,
+            "num_cycles": self.resolved_cycles(),
+            "seed": self.seed,
+            "sample": self.sample,
+            "sampling": self.sampling,
+            "fault_model": self.fault_model,
+        }
+
     def fault_key(self) -> Dict:
         """The fields determining *which faults* a campaign injects.
 
@@ -409,3 +428,45 @@ class CampaignSpec:
                         )
                     )
         return specs
+
+
+def scenario_from_wire(
+    netlist_text: str, testbench: Testbench, fields: Dict
+) -> Scenario:
+    """Rebuild a campaign scenario from shipped wire artifacts.
+
+    The remote half of :meth:`CampaignSpec.wire_fields`: ``netlist_text``
+    is the canonical netlist dump, ``testbench`` the reconstructed
+    stimulus, ``fields`` the scalar fault-population description. The
+    fault list is rebuilt exactly as :meth:`CampaignSpec.build_faults`
+    builds it — fault-model population over the netlist, then the
+    deterministic sample draw — so a worker that never saw the registry
+    grades the *identical* fault list in the identical order, which is
+    what makes remote shard records mergeable (and re-runnable) bit-
+    exactly.
+    """
+    from repro.netlist.textio import loads_netlist
+
+    netlist = loads_netlist(netlist_text)
+    num_cycles = int(fields["num_cycles"])
+    if testbench.num_cycles != num_cycles:
+        raise CampaignError(
+            f"wire stimulus has {testbench.num_cycles} cycles but the "
+            f"campaign declares {num_cycles}"
+        )
+    model = get_fault_model(str(fields["fault_model"]))
+    faults = model.population(netlist, num_cycles)
+    if not faults:
+        raise CampaignError(
+            f"fault model {fields['fault_model']!r} has an empty population "
+            f"on the shipped netlist ({netlist.num_ffs} flip-flops, "
+            f"{num_cycles} cycles)"
+        )
+    if fields.get("sample") is not None:
+        faults = draw_sample(
+            faults,
+            int(fields["sample"]),
+            seed=int(fields.get("seed", 0)),
+            method=str(fields.get("sampling", "uniform")),
+        )
+    return Scenario(netlist=netlist, testbench=testbench, faults=faults)

@@ -38,7 +38,15 @@ SHARDS_FILE = "shards.jsonl"
 
 @dataclass
 class ShardRecord:
-    """Grading outcomes of one contiguous cycle-window of faults."""
+    """Grading outcomes of one contiguous cycle-window of faults.
+
+    ``worker`` names who graded the shard (``inline``, ``pool:<n>`` or a
+    TCP worker's ``host:port``) and ``attempts`` how many dispatch tries
+    the window took — 1 everywhere except a shard re-queued off a dead
+    or hung worker. Both are provenance only: merge semantics depend on
+    neither, and records written before these fields existed load with
+    the defaults.
+    """
 
     index: int
     start_cycle: int
@@ -48,6 +56,8 @@ class ShardRecord:
     vanish_cycles: List[int] = field(default_factory=list)
     engine: str = ""
     elapsed_s: float = 0.0
+    worker: str = ""
+    attempts: int = 1
 
     def to_json_line(self) -> str:
         return json.dumps(
@@ -60,6 +70,8 @@ class ShardRecord:
                 "vanish_cycles": self.vanish_cycles,
                 "engine": self.engine,
                 "elapsed_s": round(self.elapsed_s, 6),
+                "worker": self.worker,
+                "attempts": self.attempts,
             },
             sort_keys=True,
         )
@@ -85,6 +97,8 @@ class ShardRecord:
             vanish_cycles=cls._cycle_list(obj["vanish_cycles"]),
             engine=str(obj.get("engine", "")),
             elapsed_s=float(obj.get("elapsed_s", 0.0)),
+            worker=str(obj.get("worker", "")),
+            attempts=int(obj.get("attempts", 1)),
         )
         if (
             len(record.fail_cycles) != record.num_faults

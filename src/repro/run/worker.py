@@ -72,16 +72,26 @@ def prewarm(spec: CampaignSpec) -> Scenario:
     later-recycled) workers hit the disk artifacts instead of
     re-deriving everything per process.
     """
+    scenario = scenario_for(spec)
+    prewarm_scenario(scenario)
+    return scenario
+
+
+def prewarm_scenario(scenario: Scenario) -> None:
+    """Warm the simulation caches for an already-resolved scenario.
+
+    The scenario-level half of :func:`prewarm`, shared with the TCP
+    worker daemon — which resolves its scenarios from wire artifacts,
+    not from the circuit registry, but warms the same caches.
+    """
     from repro.sim.backends._native import native_kernel
     from repro.sim.backends.fused import fused_program_for
     from repro.sim.cache import compiled_for, golden_for
 
-    scenario = scenario_for(spec)
     compiled = compiled_for(scenario.netlist)
     golden_for(compiled, scenario.testbench)
     fused_program_for(compiled)
     native_kernel()
-    return scenario
 
 
 def injection_cycles(spec: CampaignSpec) -> List[int]:
@@ -115,11 +125,36 @@ def grade_window(
     spec_dict: Dict, index: int, start_cycle: int, end_cycle: int
 ) -> Dict:
     """Grade the faults of one cycle window; returns a plain record dict."""
-    from repro.sim.parallel import grade_faults
-
     spec = CampaignSpec.from_dict(spec_dict)
     scenario = scenario_for(spec)
-    lo, hi = window_slice(injection_cycles(spec), start_cycle, end_cycle)
+    return grade_scenario_window(
+        scenario,
+        injection_cycles(spec),
+        index,
+        start_cycle,
+        end_cycle,
+        engine=spec.engine,
+    )
+
+
+def grade_scenario_window(
+    scenario: Scenario,
+    cycles: List[int],
+    index: int,
+    start_cycle: int,
+    end_cycle: int,
+    engine: str,
+) -> Dict:
+    """Grade one cycle window of an already-resolved scenario.
+
+    The shared core of pool-worker and TCP-daemon shard grading:
+    ``cycles`` is the faults' injection cycles in fault-list order (the
+    window-slicing key). Returns the plain record dict both the store
+    and the wire protocol consume.
+    """
+    from repro.sim.parallel import grade_faults
+
+    lo, hi = window_slice(cycles, start_cycle, end_cycle)
     window_faults = scenario.faults[lo:hi]
     started = time.perf_counter()
     if window_faults:
@@ -127,12 +162,12 @@ def grade_window(
             scenario.netlist,
             scenario.testbench,
             window_faults,
-            backend=spec.engine,
+            backend=engine,
         )
-        # Outcomes cross the process boundary as packed int32 bytes: one
-        # contiguous buffer pickles in microseconds where a list of
-        # thousands of Python ints costs milliseconds per shard —
-        # measurable against sub-100ms campaigns.
+        # Outcomes cross the process (or network) boundary as packed
+        # int32 bytes: one contiguous buffer pickles in microseconds
+        # where a list of thousands of Python ints costs milliseconds
+        # per shard — measurable against sub-100ms campaigns.
         fail = array("i", map(int, result.fail_cycles)).tobytes()
         vanish = array("i", map(int, result.vanish_cycles)).tobytes()
     else:  # a cycle window no sampled fault landed in
@@ -144,6 +179,6 @@ def grade_window(
         "num_faults": len(window_faults),
         "fail_cycles": fail,
         "vanish_cycles": vanish,
-        "engine": spec.engine,
+        "engine": engine,
         "elapsed_s": time.perf_counter() - started,
     }

@@ -68,13 +68,24 @@ _COMPILED: Dict[str, CompiledNetlist] = {}
 _GOLDEN: Dict[Tuple[str, str], GoldenTrace] = {}
 
 
+def netlist_text_digest(text: str) -> str:
+    """Content digest of a netlist's canonical text form.
+
+    Split out of :func:`netlist_digest` so the wire protocol can verify
+    a shipped netlist payload against its announced digest without
+    parsing it first — the digest *is* the hash of the text a peer
+    sends, schema-prefixed like every other cache key.
+    """
+    payload = f"schema{CACHE_SCHEMA}\n{text}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def netlist_digest(netlist: Netlist) -> str:
     """Content digest of a netlist's canonical text, memoized per object."""
     try:
         return _DIGESTS[netlist]
     except KeyError:
-        payload = f"schema{CACHE_SCHEMA}\n{dumps_netlist(netlist)}"
-        digest = hashlib.sha256(payload.encode()).hexdigest()
+        digest = netlist_text_digest(dumps_netlist(netlist))
         _DIGESTS[netlist] = digest
         return digest
 
@@ -138,8 +149,13 @@ class DiskArtifactCache:
 
         <nd[:2]>/<nd>/compiled.pkl + compiled.meta.json
         <nd[:2]>/<nd>/<sd>/golden_{outputs,states}.npy + meta.json
+        wire/<d[:2]>/<d>                      (content-addressed payloads)
 
     where ``nd`` is the netlist digest and ``sd`` the stimulus digest.
+    The ``wire/`` namespace holds raw payloads the TCP worker daemon
+    received (netlist text, packed stimulus), keyed by the digest they
+    were announced under — a restarted worker answers "have it" for any
+    campaign it has ever been shipped.
     Loads verify payload SHA-256s against the sidecar metadata and
     return ``None`` on any mismatch, unreadable file or schema change —
     callers then rebuild and overwrite. Writes are atomic
@@ -240,6 +256,34 @@ class DiskArtifactCache:
                 AttributeError, ImportError):
             return None
         return compiled if isinstance(compiled, CompiledNetlist) else None
+
+    # -- wire artifacts ------------------------------------------------
+    def _wire_path(self, digest: str) -> str:
+        return os.path.join(self.root, "wire", digest[:2], digest)
+
+    def load_wire(self, digest: str) -> Optional[bytes]:
+        """A content-addressed wire payload (netlist text / stimulus),
+        or None when absent.
+
+        No sidecar hash: wire payloads are *named by* their content
+        digest, so the caller re-derives the digest from the loaded
+        bytes and discards any mismatch — the store itself only promises
+        atomic writes.
+        """
+        try:
+            with open(self._wire_path(digest), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def store_wire(self, digest: str, payload: bytes) -> None:
+        """Persist one wire payload; failures are silently ignored."""
+        path = self._wire_path(digest)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            _atomic_write(path, payload)
+        except OSError:
+            pass
 
     def store_compiled(self, nd: str, compiled: CompiledNetlist) -> None:
         """Persist a compiled plan; failures are silently ignored."""

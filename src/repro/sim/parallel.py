@@ -73,6 +73,23 @@ class FaultGradingResult:
             for fail, vanish in zip(self.fail_cycles, self.vanish_cycles)
         ]
 
+    def outcome_digest(self) -> str:
+        """Content digest of the per-fault outcomes (fail/vanish cycles).
+
+        Two gradings of the same campaign agree on this hex string iff
+        they are bit-exact, which is how the distributed-transport tests
+        (and CI's fleet smoke) compare a remote-graded oracle against
+        the serial reference without shipping the arrays around.
+        """
+        import hashlib
+        from array import array
+
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(array("i", map(int, self.fail_cycles)).tobytes())
+        digest.update(b"|")
+        digest.update(array("i", map(int, self.vanish_cycles)).tobytes())
+        return digest.hexdigest()
+
     def to_dictionary(self) -> FaultDictionary:
         """Decode into a queryable :class:`FaultDictionary`.
 
