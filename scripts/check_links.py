@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Stdlib-only (CI runs it before installing anything): finds every
+``[text](target)`` inline link and bare relative link in the given
+markdown files and verifies that relative targets exist on disk.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped — this guards the docs *tree*, not the
+internet. Exits 1 listing every broken link.
+
+Run from the repository root::
+
+    python scripts/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, Tuple
+
+#: inline markdown links; deliberately simple — fenced code is stripped
+#: first so `code samples containing ](...)` do not trip it
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: str) -> List[Tuple[str, str]]:
+    """(target, reason) for every broken relative link in one file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = FENCE_RE.sub("", handle.read())
+    base = os.path.dirname(os.path.abspath(path))
+    problems = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(os.path.join(base, relative))
+        if not os.path.exists(resolved):
+            problems.append((target, f"{relative} does not exist"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    files = argv or ["README.md"]
+    failures = 0
+    for path in files:
+        for target, reason in broken_links(path):
+            print(f"{path}: broken link ({target}): {reason}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -43,6 +43,15 @@ class HardeningError(ReproError):
     """A hardening transform was misconfigured or could not be applied."""
 
 
+class ServiceError(ReproError):
+    """The campaign service (HTTP daemon / results database) failed.
+
+    Raised for service-level misconfiguration: an incompatible results-
+    database schema version, a full submission queue, a store that
+    cannot be imported, a malformed query.
+    """
+
+
 class ParseError(ReproError):
     """A textual netlist / stimulus file could not be parsed.
 

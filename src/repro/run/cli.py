@@ -25,6 +25,13 @@ The subcommands replace the plumbing the example scripts used to carry:
   ``run``/``sweep`` on another host dispatch to via ``--hosts``.
 * ``workers ping`` — fleet liveness, cache warmth and kernel flags for
   a ``--hosts`` list (``--json`` for machines; exit 1 on any down host).
+* ``serve`` — the long-running campaign service: HTTP+JSON submission
+  API, bounded queue, SQLite results index and HTML dashboard
+  (``docs/service.md``).
+* ``db``     — results-database maintenance: ``db import`` indexes the
+  JSONL stores into SQLite losslessly, ``db info`` prints row counts.
+* ``query``  — cross-campaign aggregates from the SQLite index
+  (per-flop failure rates, per-circuit class breakdowns).
 
 Every subcommand accepts the spec fields as flags — including
 ``--fault-model`` (seu, mbu:<k>, stuck_at_0/1, intermittent[:p:d]) and
@@ -44,6 +51,8 @@ describe can be launched, resumed and reported from the shell::
     python -m repro worker --listen 0.0.0.0:7400        # on each host
     python -m repro run --circuit b14 --hosts a:7400,b:7400
     python -m repro workers ping --hosts a:7400,b:7400 --json
+    python -m repro serve --listen 127.0.0.1:8780
+    python -m repro db import && python -m repro query flops --circuit b14
 """
 
 from __future__ import annotations
@@ -723,6 +732,161 @@ def _cmd_workers_ping(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_db_path(args: argparse.Namespace) -> str:
+    from repro.service.db import DEFAULT_DB_FILENAME
+
+    if getattr(args, "db", None):
+        return args.db
+    return os.path.join(args.store, DEFAULT_DB_FILENAME)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.run.transport.wire import parse_host_port
+    from repro.service.app import CampaignService
+
+    if args.no_store:
+        print(
+            "error: the service requires a results store (--no-store is "
+            "incompatible with serve); the JSONL store is the durability "
+            "layer the database indexes",
+            file=sys.stderr,
+        )
+        return 1
+    host, port = parse_host_port(args.listen)
+    runner = CampaignRunner(
+        workers=args.workers,
+        shards=args.shards,
+        store_root=args.store,
+        resume=not args.no_resume,
+        progress=None if args.quiet else lambda line: print(line, flush=True),
+        transport=args.transport,
+        hosts=args.hosts,
+        shard_timeout=args.shard_timeout,
+    )
+    db_path = _default_db_path(args)
+    service = CampaignService(
+        db_path,
+        runner,
+        host=host,
+        port=port,
+        queue_limit=args.queue_limit,
+        verbose=not args.quiet,
+    )
+    print(
+        f"repro serve listening on {service.host}:{service.port}", flush=True
+    )
+    print(
+        f"  store: {args.store}/  db: {db_path}  "
+        f"transport: {runner.transport_name}",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    finally:
+        runner.close()
+    return 0
+
+
+def _cmd_db_import(args: argparse.Namespace) -> int:
+    from repro.service.db import ResultsDB
+
+    with ResultsDB(_default_db_path(args)) as db:
+        results = db.import_root(args.store)
+        counts = db.counts()
+    if args.json:
+        print(json.dumps({"stores": results, "counts": counts}, indent=2))
+        return 0
+    if not results:
+        print(f"no campaign stores under {args.store}/")
+        return 0
+    for result in results:
+        if result["action"] == "imported":
+            print(
+                f"  imported {result['campaign_id']}: "
+                f"{result['faults']} faults in {result['shards']} shards"
+            )
+        elif result["action"] == "exists":
+            print(f"  skipped  {result['campaign_id']}: {result['reason']}")
+        else:
+            print(f"  refused  {result['campaign_id']}: {result['reason']}")
+    print(
+        f"database {_default_db_path(args)}: "
+        f"{counts['campaigns']} campaigns, {counts['fault_outcomes']:,} "
+        "fault outcomes"
+    )
+    return 0
+
+
+def _cmd_db_info(args: argparse.Namespace) -> int:
+    from repro.service.db import SCHEMA_VERSION, ResultsDB
+
+    path = _default_db_path(args)
+    with ResultsDB(path) as db:
+        counts = db.counts()
+    payload = {
+        "path": path,
+        "schema_version": SCHEMA_VERSION,
+        "counts": counts,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{path}: schema v{SCHEMA_VERSION}")
+    for table, count in counts.items():
+        print(f"  {table}: {count:,}")
+    return 0
+
+
+def _cmd_query_flops(args: argparse.Namespace) -> int:
+    from repro.service.db import ResultsDB
+    from repro.util.tables import Table
+
+    with ResultsDB(_default_db_path(args)) as db:
+        rows = db.flop_failure_rates(
+            circuit=args.circuit,
+            fault_model=args.fault_model,
+            limit=args.limit,
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    scope = f"circuit {args.circuit}" if args.circuit else "all circuits"
+    table = Table(
+        ["flop", "campaigns", "faults", "failures", "failure rate"],
+        title=f"Per-flop failure rate across campaigns ({scope})",
+    )
+    for row in rows:
+        table.add_row(
+            [row["flop"], row["campaigns"], row["faults"], row["failures"],
+             f"{row['failure_rate']:.4f}"]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_query_classes(args: argparse.Namespace) -> int:
+    from repro.service.db import ResultsDB
+    from repro.util.tables import Table
+
+    with ResultsDB(_default_db_path(args)) as db:
+        rows = db.class_breakdown(group=args.group)
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    table = Table(
+        [args.group, "campaigns", "faults", "failures", "latent", "silent",
+         "failure rate"],
+        title=f"Outcome classes by {args.group}, across campaigns",
+    )
+    for row in rows:
+        table.add_row(
+            [row["grp"], row["campaigns"], row["faults"], row["failures"],
+             row["latent"], row["silent"], f"{row['failure_rate']:.4f}"]
+        )
+    print(table.render())
+    return 0
+
+
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
@@ -930,6 +1094,27 @@ def build_parser() -> argparse.ArgumentParser:
         "ping",
         help="probe fleet liveness, cache warmth and kernel flags "
         "(exit 1 if any worker is down)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+exit codes:
+  0  every probed worker answered
+  1  at least one worker was unreachable or timed out
+
+--json emits a list with one object per probed host:
+  host               "host:port" as given in --hosts
+  alive              true when the worker answered the status probe
+  error              connect/timeout detail (down hosts only)
+  rtt_ms             status-probe round trip in milliseconds
+  protocol           wire protocol version the worker speaks
+  pid, uptime_s      worker process id and seconds since start
+  kernel             {"native": bool, "threads": int} grading kernel
+  campaigns_cached   campaign digests held in the artifact cache
+  stats              lifetime counters: shards_graded, faults_graded,
+                     digest_hits, digest_misses,
+                     artifact_bytes_received, connections
+Down hosts carry only host/alive/error; the worker-side fields are
+whatever `repro worker` returned in its status reply and may grow
+keys in later protocol versions.""",
     )
     ping_parser.add_argument(
         "--hosts",
@@ -944,9 +1129,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-host connect/reply timeout in seconds",
     )
     ping_parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--json",
+        action="store_true",
+        help="machine-readable output (schema below); the exit code "
+        "contract is unchanged",
     )
     ping_parser.set_defaults(func=_cmd_workers_ping)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="long-running campaign service: HTTP+JSON API, SQLite "
+        "results index and dashboard (see docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:8780",
+        metavar="HOST:PORT",
+        help="listen address (port 0 binds an ephemeral port, printed on "
+        "the startup line)",
+    )
+    serve_parser.add_argument(
+        "--db",
+        default=None,
+        help="SQLite results database path (default: <store>/service.db)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max queued-but-unstarted campaigns before POST returns 503",
+    )
+    _add_runner_arguments(serve_parser)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    db_parser = commands.add_parser(
+        "db", help="maintain the SQLite results database"
+    )
+    db_commands = db_parser.add_subparsers(dest="db_command", required=True)
+    db_import_parser = db_commands.add_parser(
+        "import",
+        help="index every JSONL campaign store under --store into SQLite "
+        "(lossless; skips campaigns already indexed)",
+    )
+    db_import_parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_ROOT,
+        help=f"results-store root to import (default: {DEFAULT_STORE_ROOT}/)",
+    )
+    db_import_parser.add_argument(
+        "--db",
+        default=None,
+        help="SQLite results database path (default: <store>/service.db)",
+    )
+    db_import_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    db_import_parser.set_defaults(func=_cmd_db_import)
+    db_info_parser = db_commands.add_parser(
+        "info", help="schema version and row counts of the database"
+    )
+    db_info_parser.add_argument("--store", default=DEFAULT_STORE_ROOT)
+    db_info_parser.add_argument("--db", default=None)
+    db_info_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    db_info_parser.set_defaults(func=_cmd_db_info)
+
+    query_parser = commands.add_parser(
+        "query",
+        help="cross-campaign aggregates from the SQLite results database",
+    )
+    query_commands = query_parser.add_subparsers(
+        dest="query_command", required=True
+    )
+    flops_parser = query_commands.add_parser(
+        "flops",
+        help="per-flop failure rate pooled across campaigns",
+    )
+    flops_parser.add_argument("--store", default=DEFAULT_STORE_ROOT)
+    flops_parser.add_argument("--db", default=None)
+    flops_parser.add_argument(
+        "--circuit", default=None, help="restrict to one circuit"
+    )
+    flops_parser.add_argument(
+        "--fault-model", default=None, help="restrict to one fault model"
+    )
+    flops_parser.add_argument(
+        "--limit", type=int, default=20, help="rows to show (highest first)"
+    )
+    flops_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    flops_parser.set_defaults(func=_cmd_query_flops)
+    classes_parser = query_commands.add_parser(
+        "classes",
+        help="failure/latent/silent totals grouped across campaigns",
+    )
+    classes_parser.add_argument("--store", default=DEFAULT_STORE_ROOT)
+    classes_parser.add_argument("--db", default=None)
+    classes_parser.add_argument(
+        "--group",
+        default="effective_circuit",
+        choices=["effective_circuit", "circuit", "hardening", "fault_model",
+                 "status", "sampling", "testbench"],
+        help="campaigns column to group by (hardening = the hardened-vs-"
+        "plain failure trend)",
+    )
+    classes_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    classes_parser.set_defaults(func=_cmd_query_classes)
     return parser
 
 

@@ -131,6 +131,15 @@ class CampaignRunner:
             drops them and regrades from scratch.
         progress: optional callback receiving one line per completed
             shard (the CLI passes ``print``).
+        on_shard: optional *structured* progress callback, called as
+            ``on_shard(record, done, total)`` after every newly graded
+            shard (``done`` counts completed shards including resumed
+            ones, ``total`` the plan size). Unlike ``progress`` — which
+            is display text — this is the hook services build live
+            status on. Raising from the callback aborts the grade
+            between shards with every completed shard already
+            checkpointed, which is how the campaign service cancels a
+            running campaign without losing work.
         mp_context: multiprocessing start method for the local pool;
             defaults to ``fork`` where available (inherits warm
             caches), else ``spawn``.
@@ -155,6 +164,7 @@ class CampaignRunner:
         transport: Optional[str] = None,
         hosts=None,
         shard_timeout: Optional[float] = None,
+        on_shard: Optional[Callable[[ShardRecord, int, int], None]] = None,
     ):
         if shards is not None and shards < 1:
             raise CampaignError("shards must be at least 1")
@@ -163,6 +173,7 @@ class CampaignRunner:
         self.store_root = store_root
         self.resume = resume
         self.progress = progress
+        self.on_shard = on_shard
         self.mp_context = mp_context
         self.hosts = hosts
         self.shard_timeout = shard_timeout
@@ -265,6 +276,11 @@ class CampaignRunner:
                 "shards already graded"
             )
         spec_dict = spec.to_dict()
+        if self.on_shard is not None and done:
+            # Resumed shards count toward progress before grading starts,
+            # so a service polling mid-resume never sees progress move
+            # backwards. One call carries the whole resumed count.
+            self.on_shard(next(iter(done.values())), len(done), len(windows))
         for record in self._grade_shards(spec, spec_dict, pending):
             done[record.index] = record
             if store is not None:
@@ -276,6 +292,8 @@ class CampaignRunner:
                     f"{record.end_cycle}) — {record.num_faults} faults in "
                     f"{record.elapsed_s:.3f}s"
                 )
+            if self.on_shard is not None:
+                self.on_shard(record, len(done), len(windows))
         return scenario, self._merge(spec, scenario, windows, done)
 
     def _grade_shards(

@@ -24,7 +24,7 @@ import json
 import os
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignError
 
@@ -281,3 +281,51 @@ class ResultsStore:
             os.remove(self.shards_path)
         except FileNotFoundError:
             pass
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def manifest(self) -> Optional[Dict]:
+        """The store manifest (version, oracle key, fault key, windows),
+        or ``None`` when the directory holds no ``spec.json``. The read
+        side of the export path — consumers that re-derive a campaign
+        from a store (``repro db import``) start here."""
+        return self._read_manifest()
+
+    def iter_shards(self) -> Iterator[ShardRecord]:
+        """Intact shard records in shard-index order.
+
+        The streaming export iterator: same tolerance as
+        :meth:`completed` (truncated / garbled lines are skipped,
+        duplicate indices keep the last record) but yields in index
+        order so consumers rebuilding the fault-list order — the SQLite
+        importer — can concatenate windows directly.
+        """
+        records = self.completed()
+        for index in sorted(records):
+            yield records[index]
+
+
+def discover_stores(root: str) -> Iterator["ResultsStore"]:
+    """Every campaign store under ``root``, in directory-name order.
+
+    A campaign store is any subdirectory holding a readable
+    ``spec.json`` manifest; anything else (stray files, half-created
+    directories) is skipped rather than fatal — an export sweep over a
+    long-lived store root should report what it *can* read.
+    """
+    try:
+        entries = sorted(os.listdir(root))
+    except FileNotFoundError:
+        return
+    for entry in entries:
+        directory = os.path.join(root, entry)
+        if not os.path.isdir(directory):
+            continue
+        store = ResultsStore(directory)
+        try:
+            manifest = store.manifest()
+        except CampaignError:
+            continue  # unreadable manifest: not exportable, not fatal
+        if manifest is not None:
+            yield store

@@ -1,0 +1,136 @@
+"""Server-rendered HTML dashboard for the campaign service.
+
+One self-contained page (inline CSS, meta-refresh, zero JavaScript and
+zero assets) so ``GET /`` works from any browser pointed at the daemon
+— including over an SSH port-forward to a headless campaign box. The
+page is a *view* of the database, rendered per request; it holds no
+state of its own.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Dict, List, Optional
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a202c; }
+h1 { font-size: 1.4rem; }
+table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+th, td { text-align: left; padding: 0.4rem 0.7rem;
+         border-bottom: 1px solid #e2e8f0; font-size: 0.9rem; }
+th { background: #f7fafc; }
+code { background: #edf2f7; padding: 0.1rem 0.3rem; border-radius: 3px; }
+.muted { color: #718096; }
+.badge { padding: 0.15rem 0.5rem; border-radius: 9px; font-size: 0.8rem; }
+.badge.queued    { background: #e2e8f0; }
+.badge.running   { background: #bee3f8; }
+.badge.done      { background: #c6f6d5; }
+.badge.imported  { background: #c6f6d5; }
+.badge.failed    { background: #fed7d7; }
+.badge.cancelled { background: #feebc8; }
+.bar { background: #edf2f7; border-radius: 3px; width: 100px;
+       height: 0.7rem; display: inline-block; vertical-align: middle; }
+.bar > span { background: #4299e1; height: 100%; display: block;
+              border-radius: 3px; }
+"""
+
+
+def _progress_cell(row: Dict) -> str:
+    total = row.get("num_shards") or 0
+    done = row.get("shards_done") or 0
+    if not total:
+        return '<span class="muted">—</span>'
+    percent = int(100 * done / total)
+    return (
+        f'<span class="bar"><span style="width:{percent}%"></span></span> '
+        f"{done}/{total}"
+    )
+
+
+def _classes_cell(counts: Optional[Dict[str, int]]) -> str:
+    if not counts or not sum(counts.values()):
+        return '<span class="muted">—</span>'
+    return (
+        f"{counts.get('failure', 0)} / {counts.get('latent', 0)} / "
+        f"{counts.get('silent', 0)}"
+    )
+
+
+def _age(timestamp: Optional[float], now: float) -> str:
+    if not timestamp:
+        return "—"
+    seconds = max(0, int(now - timestamp))
+    if seconds < 120:
+        return f"{seconds}s ago"
+    if seconds < 7200:
+        return f"{seconds // 60}m ago"
+    return f"{seconds // 3600}h ago"
+
+
+def render_dashboard(
+    campaigns: List[Dict],
+    class_counts: Dict[str, Dict[str, int]],
+    queue_depth: int,
+    started_at: float,
+) -> str:
+    """The whole dashboard page, as a UTF-8 HTML string.
+
+    ``class_counts`` maps campaign id → verdict counts (only terminal
+    campaigns need entries). All user-originated strings are escaped —
+    circuit names come from HTTP submissions.
+    """
+    now = time.time()
+    active = sum(1 for row in campaigns if row["status"] == "running")
+    terminal = sum(
+        1 for row in campaigns if row["status"] in ("done", "imported")
+    )
+    rows = []
+    for row in campaigns:
+        status = html.escape(row["status"])
+        digest = row.get("oracle_digest") or ""
+        rows.append(
+            "<tr>"
+            f"<td><code><a href='/campaigns/{html.escape(row['campaign_id'])}'>"
+            f"{html.escape(row['campaign_id'])}</a></code></td>"
+            f"<td>{html.escape(row['effective_circuit'])}</td>"
+            f"<td>{html.escape(row['fault_model'])}"
+            f"<span class='muted'> · seed {row['seed']}</span></td>"
+            f"<td><span class='badge {status}'>{status}</span></td>"
+            f"<td>{_progress_cell(row)}</td>"
+            f"<td>{_classes_cell(class_counts.get(row['campaign_id']))}</td>"
+            f"<td><code>{html.escape(digest[:12]) or '—'}</code></td>"
+            f"<td class='muted'>{_age(row.get('submitted_at'), now)}</td>"
+            "</tr>"
+        )
+    body = "".join(rows) or (
+        '<tr><td colspan="8" class="muted">no campaigns yet — '
+        "POST a spec to /campaigns</td></tr>"
+    )
+    uptime = int(now - started_at)
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="5">
+<title>repro campaign service</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>repro campaign service</h1>
+<p class="muted">{len(campaigns)} campaigns · {active} running ·
+{terminal} completed · {queue_depth} queued in memory ·
+up {uptime}s · auto-refreshes every 5s</p>
+<table>
+<tr><th>campaign</th><th>circuit</th><th>faults</th><th>status</th>
+<th>progress</th><th>F / L / S</th><th>digest</th><th>submitted</th></tr>
+{body}
+</table>
+<p class="muted">API: <code>POST /campaigns</code> ·
+<code>GET /campaigns/&lt;id&gt;</code> ·
+<code>GET /campaigns/&lt;id&gt;/results</code> ·
+<code>GET /query?kind=flop_failures</code> —
+see <code>docs/service.md</code>.</p>
+</body>
+</html>
+"""

@@ -1,0 +1,43 @@
+"""Documentation invariants: the generated CLI reference must match the
+argparse tree, and relative links in the markdown must resolve."""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
+
+
+def _run(script, *argv):
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO, "scripts", script), *argv],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_cli_reference_is_not_stale():
+    """docs/cli.md is generated; a committed copy that disagrees with
+    `build_parser()` means someone changed the CLI without regenerating
+    (`python scripts/gen_cli_docs.py`)."""
+    result = _run("gen_cli_docs.py", "--check")
+    assert result.returncode == 0, result.stderr or result.stdout
+
+
+def test_cli_reference_mentions_every_top_level_command():
+    with open(os.path.join(REPO, "docs", "cli.md"), encoding="utf-8") as fh:
+        document = fh.read()
+    for command in ("run", "sweep", "report", "bench", "worker",
+                    "workers", "serve", "db", "query"):
+        assert f"## `repro {command}`" in document, command
+
+
+def test_markdown_links_resolve():
+    docs = sorted(
+        os.path.join("docs", name)
+        for name in os.listdir(os.path.join(REPO, "docs"))
+        if name.endswith(".md")
+    )
+    result = _run("check_links.py", "README.md", *docs)
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -264,3 +264,24 @@ class TestBench:
         assert "Sharded runner" in capsys.readouterr().out
         payload = json.loads(json_path.read_text())
         assert payload["rows"][0]["workers"] == 1
+
+
+class TestHelpText:
+    def test_workers_ping_help_documents_contract(self, capsys):
+        """`workers ping --help` must spell out the exit-code contract
+        and the --json schema — fleet scripts are written against it."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workers", "ping", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "every probed worker answered" in out
+        assert "at least one worker was unreachable" in out
+        for key in ("alive", "rtt_ms", "protocol", "uptime_s",
+                    "campaigns_cached", "shards_graded"):
+            assert key in out, f"--json schema key {key!r} missing from help"
+
+    def test_serve_rejects_no_store(self, capsys):
+        code = main(["serve", "--no-store"])
+        assert code == 1
+        assert "--no-store" in capsys.readouterr().err
