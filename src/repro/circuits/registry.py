@@ -78,16 +78,19 @@ def build_circuit(name: str) -> Netlist:
       (``.bench``, BLIF, ``.bnet``; format auto-detected);
     * ``corpus:<name>`` — a bundled benchmark from
       :mod:`repro.frontend.corpus` (e.g. ``corpus:s298``);
-    * ``hardened:<scheme>:<base>`` — any of the above protected by a
-      :mod:`repro.hardening` transform (e.g. ``hardened:tmr:b04``,
-      ``hardened:dwc:corpus:s298``).
+    * ``hardened:<scheme>[@<flop>+<flop>...]:<base>`` — any of the above
+      protected by a :mod:`repro.hardening` transform, over all flops
+      (``hardened:tmr:b04``, ``hardened:dwc:corpus:s298``) or a
+      selective subset (``hardened:tmr@state_reg+count0:b04``). The base
+      may itself be a ``hardened:`` name, composing mixed protections
+      (``hardened:tmr@ff1:hardened:parity@ff2+ff3:b04``).
     """
     _populate()
     if name.startswith("hardened:"):
-        from repro.hardening import apply_hardening, split_hardened_name
+        from repro.hardening import apply_hardening, parse_hardened_name
 
-        scheme, base = split_hardened_name(name)
-        return apply_hardening(scheme, build_circuit(base))
+        scheme, flops, base = parse_hardened_name(name)
+        return apply_hardening(scheme, build_circuit(base), flops=flops)
     if name.startswith("proc:"):
         from repro.circuits import generators
 

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import CampaignError
 from repro.faults.classify import FaultClass
+from repro.faults.sampling import SampleEstimate, classification_estimates
 from repro.hardening import available_schemes
 from repro.run import worker
 from repro.run.runner import CampaignRunner
@@ -47,7 +48,16 @@ DETECTION_SCHEMES = ("dwc", "parity")
 
 @dataclass
 class HardnessRow:
-    """One circuit version (plain or hardened) across all fault models."""
+    """One circuit version (plain or hardened) across all fault models.
+
+    ``populations`` is the complete fault-population size per model;
+    ``samples`` is how many faults were actually graded (equal under
+    exhaustive grading, the ``--sample`` size otherwise). For sampled
+    campaigns ``estimates`` carries per-class Wilson
+    :class:`~repro.faults.sampling.SampleEstimate` intervals, so the
+    rendered cells show sampling uncertainty instead of point estimates
+    that look exact.
+    """
 
     scheme: Optional[str]
     label: str
@@ -56,9 +66,26 @@ class HardnessRow:
     num_flops: int
     rates: Dict[str, Dict[FaultClass, float]] = field(default_factory=dict)
     populations: Dict[str, int] = field(default_factory=dict)
+    samples: Dict[str, int] = field(default_factory=dict)
+    estimates: Dict[str, Dict[FaultClass, "SampleEstimate"]] = field(
+        default_factory=dict
+    )
 
     def rate_cell(self, fault_model: str) -> str:
         rates = self.rates[fault_model]
+        estimates = self.estimates.get(fault_model)
+        if estimates is not None:
+            cells = []
+            for fault_class in (
+                FaultClass.FAILURE,
+                FaultClass.LATENT,
+                FaultClass.SILENT,
+            ):
+                estimate = estimates[fault_class]
+                cells.append(
+                    f"{rates[fault_class]:.1f}±{100 * estimate.half_width:.1f}"
+                )
+            return " / ".join(cells)
         return (
             f"{rates[FaultClass.FAILURE]:5.1f} / "
             f"{rates[FaultClass.LATENT]:4.1f} / "
@@ -147,6 +174,28 @@ class HardnessReport:
                 "  note: dwc/parity error flags are primary outputs — their "
                 "failure column is detection coverage, not damage"
             )
+        if any(row.estimates for row in self.rows):
+            parts = []
+            for row in self.rows:
+                if not row.estimates:
+                    continue
+                sizes = sorted(
+                    {
+                        (row.samples[model], row.populations[model])
+                        for model in row.estimates
+                    }
+                )
+                parts.append(
+                    f"{row.label} "
+                    + ", ".join(
+                        f"{sample:,}/{population:,}"
+                        for sample, population in sizes
+                    )
+                )
+            lines.append(
+                "  note: ±x.x cells are Wilson 95% half-widths from sampled "
+                "campaigns (graded/population: " + "; ".join(parts) + ")"
+            )
         return "\n".join(lines)
 
 
@@ -218,7 +267,15 @@ def run_hardness_experiment(
             oracle = runner.grade(spec)
             dictionary = oracle.to_dictionary()
             row.rates[model] = dictionary.percentages()
-            row.populations[model] = oracle.num_faults
+            # num_faults is how many faults were *graded*; under --sample
+            # that is the sample size, not the population, so both are
+            # recorded and sampled cells get Wilson intervals.
+            row.samples[model] = oracle.num_faults
+            row.populations[model] = spec.population_size(netlist)
+            if oracle.num_faults < row.populations[model]:
+                row.estimates[model] = classification_estimates(
+                    oracle.verdicts()
+                )
         rows.append(row)
     return HardnessReport(
         circuit=circuit,

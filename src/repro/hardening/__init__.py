@@ -24,7 +24,11 @@ from repro.hardening.base import (
     HardeningScheme,
     apply_hardening,
     available_schemes,
+    canonical_flop_subset,
+    format_scheme_segment,
     get_hardening_scheme,
+    parse_hardened_name,
+    parse_scheme_segment,
     register_scheme,
     split_hardened_name,
 )
@@ -51,22 +55,28 @@ register_scheme(
     "duplication with comparison: divergence raises a dwc_err output "
     "(detection, not masking)",
     harden_dwc,
+    detects=True,
 )
 register_scheme(
     "parity",
     "stored parity bit over the protected register: odd-sized upsets "
     "raise a parity_err output",
     harden_parity,
+    detects=True,
 )
 
 __all__ = [
     "HardeningScheme",
     "apply_hardening",
     "available_schemes",
+    "canonical_flop_subset",
+    "format_scheme_segment",
     "get_hardening_scheme",
     "harden_dwc",
     "harden_parity",
     "harden_tmr",
+    "parse_hardened_name",
+    "parse_scheme_segment",
     "register_scheme",
     "split_hardened_name",
 ]

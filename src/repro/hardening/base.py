@@ -40,11 +40,20 @@ class HardeningScheme:
     ``transform`` takes ``(netlist, flops=None, name=None)`` and returns
     a new netlist; ``flops=None`` hardens every flip-flop, a sequence
     hardens only the named subset (selective hardening).
+
+    ``detects`` marks schemes that *signal* upsets through an appended
+    error-flag output instead of masking them (dwc, parity). Their
+    checkers are functions of the protected storage and the same
+    next-state inputs, so only an upset on a covered flop (or on the
+    checker's own storage) can raise the flag — which lets downstream
+    consumers (the selective-hardening optimizer) attribute detection
+    per fault from the faulted flop's name alone.
     """
 
     name: str
     description: str
     transform: Callable[..., Netlist]
+    detects: bool = False
 
     def apply(
         self,
@@ -69,10 +78,13 @@ _SCHEMES: Dict[str, HardeningScheme] = {}
 
 
 def register_scheme(
-    name: str, description: str, transform: Callable[..., Netlist]
+    name: str,
+    description: str,
+    transform: Callable[..., Netlist],
+    detects: bool = False,
 ) -> None:
     """Register a hardening transform under ``name``."""
-    _SCHEMES[name] = HardeningScheme(name, description, transform)
+    _SCHEMES[name] = HardeningScheme(name, description, transform, detects)
 
 
 def available_schemes() -> List[str]:
@@ -101,25 +113,112 @@ def apply_hardening(
     return get_hardening_scheme(scheme).apply(netlist, flops=flops, name=name)
 
 
-def split_hardened_name(full: str) -> Tuple[str, str]:
-    """Parse ``hardened:<scheme>:<base>`` into ``(scheme, base)``.
+#: separators of the selective-subset spelling
+#: ``hardened:<scheme>@<flop>+<flop>:<base>``. Flop names carrying any
+#: of these characters (or ``:``, the segment separator) cannot be
+#: spelled in a circuit name and are rejected with a clean error — pass
+#: them through ``CampaignSpec(hardening_flops=...)``'s normalisation
+#: error instead of silently mis-splitting the name.
+SUBSET_MARK = "@"
+SUBSET_SEP = "+"
+_SUBSET_FORBIDDEN = (SUBSET_MARK, SUBSET_SEP, ":")
 
-    ``base`` may itself be parameterized (``corpus:s298``, ``proc:40``);
-    scheme names are colon-free, so the split is unambiguous. Raises
-    :class:`HardeningError` naming the malformed segment.
+
+def canonical_flop_subset(flops: Sequence[str]) -> Tuple[str, ...]:
+    """Validate and canonicalise a selective-hardening flop subset.
+
+    The canonical form — sorted, deduplicated — is what campaign
+    identity hashes, so ``ff2+ff1`` and ``ff1+ff2`` name one campaign.
+    Sorting is safe because every transform is deterministic in the
+    subset it receives; it only fixes *which* order that is.
+    """
+    names = sorted({str(flop) for flop in flops})
+    if not names or any(not name for name in names):
+        raise HardeningError(
+            "selective hardening needs at least one non-empty flip-flop name"
+        )
+    for name in names:
+        bad = [mark for mark in _SUBSET_FORBIDDEN if mark in name]
+        if bad:
+            raise HardeningError(
+                f"flip-flop name {name!r} contains the reserved "
+                f"character(s) {', '.join(repr(b) for b in bad)} and cannot "
+                "appear in a selective-hardening subset"
+            )
+    return tuple(names)
+
+
+def parse_scheme_segment(
+    segment: str, context: str
+) -> Tuple[str, Optional[Tuple[str, ...]]]:
+    """Parse one ``<scheme>[@<flop>+<flop>...]`` grammar segment.
+
+    Returns ``(scheme, flops)`` with ``flops`` of ``None`` meaning every
+    flip-flop (the classic all-flops spelling). Raises
+    :class:`HardeningError` naming the malformed piece and ``context``
+    (the full string being parsed) so CLI errors stay actionable.
+    """
+    scheme, mark, subset = segment.partition(SUBSET_MARK)
+    if scheme not in _SCHEMES:
+        raise HardeningError(
+            f"unknown hardening scheme {scheme!r} in {context!r}; "
+            "available schemes: " + ", ".join(available_schemes())
+        )
+    if not mark:
+        return scheme, None
+    flops = [flop for flop in subset.split(SUBSET_SEP)]
+    if not subset or any(not flop for flop in flops):
+        raise HardeningError(
+            f"malformed flop subset {subset!r} in {context!r}; expected "
+            f"{scheme}{SUBSET_MARK}<flop>{SUBSET_SEP}<flop>... "
+            f"(e.g. tmr{SUBSET_MARK}state_reg{SUBSET_SEP}count0)"
+        )
+    return scheme, canonical_flop_subset(flops)
+
+
+def format_scheme_segment(
+    scheme: str, flops: Optional[Sequence[str]]
+) -> str:
+    """Inverse of :func:`parse_scheme_segment` (canonical spelling)."""
+    if flops is None:
+        return scheme
+    return scheme + SUBSET_MARK + SUBSET_SEP.join(canonical_flop_subset(flops))
+
+
+def parse_hardened_name(
+    full: str,
+) -> Tuple[str, Optional[Tuple[str, ...]], str]:
+    """Parse ``hardened:<scheme>[@<flops>]:<base>`` into
+    ``(scheme, flops, base)``.
+
+    ``flops`` is ``None`` for the all-flops spelling, else the canonical
+    (sorted, deduplicated) subset tuple. ``base`` may itself be
+    parameterized (``corpus:s298``, ``proc:40``) — including another
+    ``hardened:`` name, which is how mixed protections compose (e.g.
+    ``hardened:tmr@ff1:hardened:parity@ff2+ff3:b04`` parity-guards two
+    flops, then triplicates a third). Raises :class:`HardeningError`
+    naming the malformed segment.
     """
     parts = full.split(":", 2)
     if len(parts) != 3 or not parts[1] or not parts[2]:
         raise HardeningError(
             f"malformed hardened circuit name {full!r}; expected "
-            "hardened:<scheme>:<circuit> (e.g. hardened:tmr:b04)"
+            "hardened:<scheme>[@<flop>+<flop>...]:<circuit> "
+            "(e.g. hardened:tmr:b04, hardened:tmr@state_reg:b04)"
         )
-    scheme, base = parts[1], parts[2]
-    if scheme not in _SCHEMES:
-        raise HardeningError(
-            f"unknown hardening scheme {scheme!r} in circuit name "
-            f"{full!r}; available schemes: " + ", ".join(available_schemes())
-        )
+    scheme, flops = parse_scheme_segment(parts[1], full)
+    return scheme, flops, parts[2]
+
+
+def split_hardened_name(full: str) -> Tuple[str, str]:
+    """Parse ``hardened:<scheme>:<base>`` into ``(scheme, base)``.
+
+    The pre-subset-grammar surface, kept for callers that only need the
+    scheme and base circuit; a selective subset (``@ff1+ff2``) is parsed
+    and validated but not returned — use :func:`parse_hardened_name`
+    when the subset matters.
+    """
+    scheme, _, base = parse_hardened_name(full)
     return scheme, base
 
 

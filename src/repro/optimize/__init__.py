@@ -1,0 +1,40 @@
+"""Selective-hardening design-space exploration (ROADMAP item 3).
+
+Given an area budget or a target failure rate, search flop subsets and
+mixed protection stacks for one circuit, grading every candidate as a
+real (sampled, resumable, bit-exact) campaign and costing it by LUT
+mapping the actually-built netlist. The result is a deterministic,
+seeded Pareto front of failure rate against LUT/FF overhead — the
+automated version of the paper's hand-made compare-the-columns tables.
+
+Entry points: ``python -m repro optimize`` (CLI), or programmatically
+
+    evaluator = Evaluator(base_spec, runner)
+    result = explore(evaluator, SearchConfig(max_ff_overhead=100.0))
+    print(pareto_report(base_spec, result).render())
+
+See ``docs/optimize.md`` for strategy details and how to read the front.
+"""
+
+from repro.optimize.assignment import HardeningAssignment
+from repro.optimize.evaluate import Evaluator, FlopRank, PointEval
+from repro.optimize.report import ParetoReport, pareto_report
+from repro.optimize.search import (
+    DEFAULT_FRACTIONS,
+    OptimizeResult,
+    SearchConfig,
+    explore,
+)
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "Evaluator",
+    "FlopRank",
+    "HardeningAssignment",
+    "OptimizeResult",
+    "ParetoReport",
+    "PointEval",
+    "SearchConfig",
+    "explore",
+    "pareto_report",
+]

@@ -1,0 +1,126 @@
+"""Hardening assignments: which scheme protects which flops.
+
+An assignment is the optimizer's search-space point: an ordered stack of
+``(scheme, flop subset)`` layers over one base circuit. The empty stack
+is the plain circuit; one layer with ``flops=None`` is a classic
+all-flops scheme; several layers compose mixed protection (e.g. parity
+over most flops, TMR over the failure-prone few). Assignments serialise
+to the registry's nested ``hardened:`` grammar, so every point the
+optimizer visits is an ordinary, nameable, resumable campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import HardeningError
+from repro.hardening import (
+    canonical_flop_subset,
+    format_scheme_segment,
+    get_hardening_scheme,
+)
+from repro.run.spec import CampaignSpec
+
+#: one protection layer: scheme name plus the flop subset it guards
+#: (``None`` = every flop of the netlist the layer is applied to)
+Layer = Tuple[str, Optional[Tuple[str, ...]]]
+
+
+@dataclass(frozen=True)
+class HardeningAssignment:
+    """An ordered protection stack over one base circuit.
+
+    ``layers[0]`` is applied first (innermost); later layers wrap the
+    already-protected netlist. Subsets are canonicalised on
+    construction, so equal assignments compare (and memoize) equal.
+    """
+
+    layers: Tuple[Layer, ...] = ()
+
+    def __post_init__(self) -> None:
+        canonical = []
+        for scheme, flops in self.layers:
+            get_hardening_scheme(scheme)  # fail early on unknown schemes
+            if flops is not None:
+                flops = canonical_flop_subset(flops)
+            canonical.append((scheme, flops))
+        object.__setattr__(self, "layers", tuple(canonical))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def plain(cls) -> "HardeningAssignment":
+        return cls(())
+
+    @classmethod
+    def single(
+        cls, scheme: str, flops: Optional[Sequence[str]] = None
+    ) -> "HardeningAssignment":
+        return cls(((scheme, tuple(flops) if flops is not None else None),))
+
+    def wrapped(
+        self, scheme: str, flops: Optional[Sequence[str]] = None
+    ) -> "HardeningAssignment":
+        """This assignment with one more (outermost) layer."""
+        layer: Layer = (scheme, tuple(flops) if flops is not None else None)
+        return HardeningAssignment(self.layers + (layer,))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def is_plain(self) -> bool:
+        return not self.layers
+
+    def circuit_name(self, base: str) -> str:
+        """The registry spelling of this assignment over ``base``."""
+        name = base
+        for scheme, flops in self.layers:
+            name = f"hardened:{format_scheme_segment(scheme, flops)}:{name}"
+        return name
+
+    @property
+    def label(self) -> str:
+        """Compact human label: ``plain``, ``tmr``, ``tmr@5ff+parity@12ff``."""
+        if self.is_plain:
+            return "plain"
+        parts = []
+        for scheme, flops in self.layers:
+            parts.append(
+                scheme if flops is None else f"{scheme}@{len(flops)}ff"
+            )
+        # outermost first, matching the circuit-name spelling
+        return "+".join(reversed(parts))
+
+    def protected_flops(self) -> Tuple[str, ...]:
+        """Every base-netlist flop named by any subset layer (sorted)."""
+        names = set()
+        for _, flops in self.layers:
+            if flops is not None:
+                names.update(flops)
+        return tuple(sorted(names))
+
+    def spec_for(self, base: CampaignSpec) -> CampaignSpec:
+        """The campaign grading this assignment, derived from a plain
+        base spec (same stimulus/seed/sampling — only the circuit
+        changes, so points differ in exactly the protection)."""
+        if base.hardening is not None or base.circuit.startswith("hardened:"):
+            raise HardeningError(
+                "the optimizer's base spec must be the plain circuit; got "
+                f"{base.effective_circuit!r}"
+            )
+        return replace(
+            base, circuit=self.circuit_name(base.circuit)
+        )
+
+    def to_json(self) -> list:
+        """JSON form: outermost layer first, like the circuit name."""
+        return [
+            {
+                "scheme": scheme,
+                "flops": None if flops is None else list(flops),
+            }
+            for scheme, flops in reversed(self.layers)
+        ]

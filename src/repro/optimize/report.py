@@ -1,0 +1,209 @@
+"""Rendering an optimizer run: Pareto table, summary lines, JSON.
+
+The table shows the Pareto front (cheapest to most protected) with the
+anchors always included for orientation; the JSON form carries every
+evaluated point plus the front/best markers, so downstream tooling can
+re-plot the trade-off without re-grading anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.optimize.evaluate import PointEval
+from repro.optimize.search import OptimizeResult, SearchConfig
+from repro.run.spec import CampaignSpec
+from repro.util.tables import Table
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:+.0f}%"
+
+
+def _fmt_rate(point: PointEval) -> str:
+    if point.ci_half_width_pct is None:
+        return f"{point.failure_rate_pct:.2f}"
+    return f"{point.failure_rate_pct:.2f}±{point.ci_half_width_pct:.2f}"
+
+
+@dataclass
+class ParetoReport:
+    """One optimizer run, renderable as text or JSON."""
+
+    base: CampaignSpec
+    result: OptimizeResult
+
+    @property
+    def config(self) -> SearchConfig:
+        return self.result.config
+
+    # ------------------------------------------------------------------
+    # derived markers
+    # ------------------------------------------------------------------
+    def dominates_full_tmr(self, point: PointEval) -> bool:
+        """Whether ``point`` Pareto-dominates the all-flops TMR anchor on
+        the failure-rate-vs-FF plane (the paper's headline trade-off)."""
+        full = self.result.full_scheme("tmr")
+        if full is None or point.assignment == full.assignment:
+            return False
+        mine = (point.failure_rate_pct, point.ffs)
+        theirs = (full.failure_rate_pct, full.ffs)
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+    # ------------------------------------------------------------------
+    # text
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        front = self.result.front()
+        best = self.result.best()
+        sampled = any(p.estimate is not None for p in self.result.points)
+        title = (
+            f"Selective-hardening Pareto front — {self.base.circuit} "
+            f"({self.base.fault_model}, seed {self.config.seed}, "
+            f"{self.result.plain.population:,}-fault plain population, "
+            f"{len(self.result.points)} points evaluated)"
+        )
+        table = Table(
+            ["point", "FFs", "LUTs",
+             "fail %" + (" (±95% CI)" if sampled else ""), "notes"],
+            title=title,
+        )
+        front_set = {id(point) for point in front}
+        anchors = [
+            point
+            for point in self.result.points
+            if id(point) not in front_set
+            and (
+                point.assignment.is_plain
+                or point.assignment.layers == (("tmr", None),)
+            )
+        ]
+        rows = sorted(front + anchors, key=lambda p: (p.ffs, p.luts, p.label))
+        for point in rows:
+            notes = []
+            if id(point) not in front_set:
+                notes.append("dominated")
+            if best is not None and point.assignment == best.assignment:
+                notes.append("best")
+            if self.dominates_full_tmr(point):
+                notes.append("beats full tmr")
+            if not self.config.within_budget(point):
+                notes.append("over budget")
+            if point.detected_rate_pct > 0:
+                notes.append(f"{point.detected_rate_pct:.1f}% detected")
+            ffs = f"{point.ffs:,} ({_fmt_pct(point.ff_overhead_pct)})"
+            luts = f"{point.luts:,} ({_fmt_pct(point.lut_overhead_pct)})"
+            table.add_row(
+                [point.label, ffs, luts, _fmt_rate(point), ", ".join(notes)]
+            )
+        lines = [table.render()]
+        budget_bits = []
+        if self.config.max_ff_overhead is not None:
+            budget_bits.append(f"FF overhead <= {self.config.max_ff_overhead:g}%")
+        if self.config.max_lut_overhead is not None:
+            budget_bits.append(
+                f"LUT overhead <= {self.config.max_lut_overhead:g}%"
+            )
+        if self.config.target_rate is not None:
+            budget_bits.append(
+                f"failure rate <= {self.config.target_rate:g}%"
+            )
+        if budget_bits:
+            lines.append("  budget: " + ", ".join(budget_bits))
+        if best is not None:
+            lines.append(
+                f"  best: {best.label} — fail {_fmt_rate(best)}%, "
+                f"{best.ffs:,} FFs ({_fmt_pct(best.ff_overhead_pct)}), "
+                f"{best.luts:,} LUTs ({_fmt_pct(best.lut_overhead_pct)})"
+            )
+        else:
+            lines.append(
+                "  best: none — no evaluated point satisfies the budget"
+            )
+        if any(p.detected_rate_pct > 0 for p in self.result.points):
+            lines.append(
+                "  fail % counts unprotected failures only — upsets "
+                "flagged by a detection layer (dwc/parity) are handled, "
+                "not silent corruption; their share is the notes' "
+                "'detected' figure"
+            )
+        if sampled:
+            lines.append(
+                "  rates are Wilson 95% estimates from sampled campaigns; "
+                "rerun with a larger --sample (or --adaptive-half-width) "
+                "to tighten the intervals"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # JSON
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        front = self.result.front()
+        best = self.result.best()
+        front_ids = {id(point) for point in front}
+
+        def encode(point: PointEval) -> Dict:
+            return {
+                "label": point.label,
+                "layers": point.assignment.to_json(),
+                "circuit": point.assignment.circuit_name(self.base.circuit),
+                "campaign_id": point.campaign_id,
+                "failure_rate_pct": round(point.failure_rate_pct, 4),
+                "detected_rate_pct": round(point.detected_rate_pct, 4),
+                "ci_half_width_pct": (
+                    None
+                    if point.ci_half_width_pct is None
+                    else round(point.ci_half_width_pct, 4)
+                ),
+                "graded_faults": point.graded_faults,
+                "population": point.population,
+                "ffs": point.ffs,
+                "luts": point.luts,
+                "ff_overhead_pct": (
+                    None
+                    if point.ff_overhead_pct is None
+                    else round(point.ff_overhead_pct, 2)
+                ),
+                "lut_overhead_pct": (
+                    None
+                    if point.lut_overhead_pct is None
+                    else round(point.lut_overhead_pct, 2)
+                ),
+                "on_front": id(point) in front_ids,
+                "within_budget": self.config.within_budget(point),
+                "dominates_full_tmr": self.dominates_full_tmr(point),
+            }
+
+        return {
+            "circuit": self.base.circuit,
+            "fault_model": self.base.fault_model,
+            "seed": self.config.seed,
+            "sample": self.base.sample,
+            "budget": {
+                "max_ff_overhead_pct": self.config.max_ff_overhead,
+                "max_lut_overhead_pct": self.config.max_lut_overhead,
+                "target_rate_pct": self.config.target_rate,
+            },
+            "schemes": list(self.config.schemes),
+            "mixed_scheme": self.config.mixed_scheme,
+            "ranking": [
+                {
+                    "flop": rank.flop,
+                    "faults": rank.faults,
+                    "failures": rank.failures,
+                    "failure_rate": round(rank.failure_rate, 6),
+                }
+                for rank in self.result.ranking
+            ],
+            "points": [encode(point) for point in self.result.points],
+            "front": [encode(point) for point in front],
+            "best": None if best is None else encode(best),
+        }
+
+
+def pareto_report(
+    base: CampaignSpec, result: OptimizeResult
+) -> ParetoReport:
+    return ParetoReport(base=base, result=result)

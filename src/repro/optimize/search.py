@@ -1,0 +1,280 @@
+"""Selective-hardening search: greedy ranking ladder + simulated annealing.
+
+The paper's numbers show protection is wildly non-uniform: a few flops
+carry most of a circuit's failure probability. The search exploits that:
+
+1. **Anchors** — the plain circuit and every candidate scheme over all
+   flops (full TMR is the classic 200%-FF reference point).
+2. **Greedy ladder** — rank flops by plain-circuit failure rate, then
+   evaluate each scheme over the top-k prefixes for a ladder of k
+   (fractions of the flop count plus "every failing flop").
+3. **Mixed stacks** — for each prefix, additionally guard every
+   *remaining* flop with a cheap detection scheme (parity by default):
+   TMR the hot flops, parity the rest. Every flop is then either masked
+   or flagged, so the unprotected failure rate (see
+   :mod:`repro.optimize.evaluate`) drops to zero at a fraction of full
+   TMR's flip-flop cost — the classic hybrid-protection trade.
+4. **Simulated annealing** — refine the best in-budget subset by
+   add/remove/swap moves under a seeded, deterministic annealer whose
+   objective is the failure rate plus a soft budget penalty.
+
+Every candidate is a real campaign (see
+:mod:`repro.optimize.evaluate`); the result is the set of evaluated
+points, their Pareto front, and the best point under the caller's
+budget. Same seed, same repo state -> identical front, bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.hardening import available_schemes
+from repro.optimize.assignment import HardeningAssignment
+from repro.optimize.evaluate import Evaluator, FlopRank, PointEval
+from repro.util.rng import DeterministicRng
+
+#: greedy ladder: protect these fractions of the circuit's flops
+DEFAULT_FRACTIONS = (0.1, 0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Budget, targets and knobs of one optimizer run."""
+
+    schemes: Tuple[str, ...] = ("tmr",)
+    mixed_scheme: Optional[str] = "parity"
+    max_ff_overhead: Optional[float] = None
+    max_lut_overhead: Optional[float] = None
+    target_rate: Optional[float] = None
+    fractions: Tuple[float, ...] = DEFAULT_FRACTIONS
+    sa_iterations: int = 40
+    sa_temperature: float = 4.0
+    sa_cooling: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for scheme in self.schemes + (
+            (self.mixed_scheme,) if self.mixed_scheme else ()
+        ):
+            if scheme not in available_schemes():
+                raise CampaignError(
+                    f"unknown hardening scheme {scheme!r}; available: "
+                    + ", ".join(available_schemes())
+                )
+        if not self.schemes:
+            raise CampaignError("the optimizer needs at least one scheme")
+        if self.sa_iterations < 0:
+            raise CampaignError("sa_iterations must be >= 0")
+
+    def within_budget(self, point: PointEval) -> bool:
+        """Whether a point satisfies every configured area bound.
+
+        A point whose overhead is undefined (``None`` — zero-resource
+        baseline) cannot be certified against a bound and counts as
+        out of budget.
+        """
+        if self.max_ff_overhead is not None:
+            if point.ff_overhead_pct is None:
+                return False
+            if point.ff_overhead_pct > self.max_ff_overhead:
+                return False
+        if self.max_lut_overhead is not None:
+            if point.lut_overhead_pct is None:
+                return False
+            if point.lut_overhead_pct > self.max_lut_overhead:
+                return False
+        return True
+
+
+@dataclass
+class OptimizeResult:
+    """Everything one search run produced."""
+
+    config: SearchConfig
+    ranking: List[FlopRank]
+    points: List[PointEval] = field(default_factory=list)
+
+    @property
+    def plain(self) -> PointEval:
+        return next(p for p in self.points if p.assignment.is_plain)
+
+    def full_scheme(self, scheme: str) -> Optional[PointEval]:
+        """The all-flops anchor point of ``scheme``, if evaluated."""
+        for point in self.points:
+            if point.assignment.layers == ((scheme, None),):
+                return point
+        return None
+
+    def front(self) -> List[PointEval]:
+        """Non-dominated points on (failure rate, FFs, LUTs), sorted by
+        ascending FF cost (descending failure rate along the front)."""
+        front = [
+            point
+            for point in self.points
+            if not any(
+                other.dominates(point)
+                for other in self.points
+                if other is not point
+            )
+        ]
+        front.sort(key=lambda p: (p.ffs, p.luts, p.failure_rate_pct, p.label))
+        return front
+
+    def best(self) -> Optional[PointEval]:
+        """The winning point under the configured budget/target.
+
+        With a target rate: the cheapest (FF, then LUT) point reaching
+        it inside the budget. Otherwise: the lowest-failure-rate
+        in-budget point, cost as tie-break. ``None`` when nothing
+        qualifies.
+        """
+        eligible = [
+            point
+            for point in self.points
+            if self.config.within_budget(point)
+        ]
+        if self.config.target_rate is not None:
+            eligible = [
+                point
+                for point in eligible
+                if point.failure_rate_pct <= self.config.target_rate
+            ]
+            eligible.sort(
+                key=lambda p: (p.ffs, p.luts, p.failure_rate_pct, p.label)
+            )
+        else:
+            eligible.sort(
+                key=lambda p: (p.failure_rate_pct, p.ffs, p.luts, p.label)
+            )
+        return eligible[0] if eligible else None
+
+
+def explore(evaluator: Evaluator, config: SearchConfig) -> OptimizeResult:
+    """Run the full search; see the module docstring for the phases."""
+    ranking = evaluator.rank_flops()
+    result = OptimizeResult(config=config, ranking=ranking)
+    seen = set()
+
+    def visit(assignment: HardeningAssignment) -> PointEval:
+        point = evaluator.evaluate(assignment)
+        if assignment not in seen:
+            seen.add(assignment)
+            result.points.append(point)
+        return point
+
+    # 1. anchors
+    visit(HardeningAssignment.plain())
+    for scheme in config.schemes:
+        visit(HardeningAssignment.single(scheme))
+
+    # 2. greedy ladder over the ranking
+    ordered = [rank.flop for rank in ranking]
+    failing = [rank.flop for rank in ranking if rank.failures > 0]
+    ladder = sorted(
+        {
+            max(1, round(fraction * len(ordered)))
+            for fraction in config.fractions
+        }
+        | ({len(failing)} if failing else set())
+    )
+    ladder = [k for k in ladder if k < len(ordered)]
+    for scheme in config.schemes:
+        for k in ladder:
+            visit(HardeningAssignment.single(scheme, ordered[:k]))
+
+    # 3. mixed stacks: detection scheme under the masking prefix,
+    # covering every flop the prefix leaves unmasked
+    if config.mixed_scheme is not None:
+        for scheme in config.schemes:
+            for k in ladder:
+                rest = ordered[k:]
+                if not rest:
+                    continue
+                mixed = HardeningAssignment.single(
+                    config.mixed_scheme, rest
+                ).wrapped(scheme, ordered[:k])
+                visit(mixed)
+
+    # 4. simulated-annealing refinement of the best in-budget subset
+    _anneal(evaluator, config, result, ordered, visit)
+    return result
+
+
+def _anneal(evaluator, config, result, ordered, visit) -> None:
+    """Local refinement: add/remove/swap one flop of a TMR-style subset.
+
+    Deterministic: the move stream comes from a seeded
+    :class:`DeterministicRng` fork, the acceptance test replaces
+    ``random()`` with an integer draw from the same stream, and every
+    candidate evaluation is memoized — so reruns with one seed replay
+    the identical trajectory.
+    """
+    if config.sa_iterations == 0 or not ordered:
+        return
+    scheme = config.schemes[0]
+    starts = [
+        point
+        for point in result.points
+        if len(point.assignment.layers) == 1
+        and point.assignment.layers[0][0] == scheme
+        and point.assignment.layers[0][1] is not None
+        and config.within_budget(point)
+    ]
+    if not starts:
+        return
+
+    def objective(point: PointEval) -> float:
+        penalty = 0.0
+        if (
+            config.max_ff_overhead is not None
+            and point.ff_overhead_pct is not None
+        ):
+            penalty += 10.0 * max(
+                0.0, point.ff_overhead_pct - config.max_ff_overhead
+            )
+        if (
+            config.max_lut_overhead is not None
+            and point.lut_overhead_pct is not None
+        ):
+            penalty += 10.0 * max(
+                0.0, point.lut_overhead_pct - config.max_lut_overhead
+            )
+        return point.failure_rate_pct + penalty
+
+    current = min(starts, key=lambda p: (objective(p), p.ffs, p.label))
+    rng = DeterministicRng(config.seed).fork("optimize-sa")
+    temperature = config.sa_temperature
+    for _ in range(config.sa_iterations):
+        subset = set(current.assignment.layers[0][1])
+        inside = sorted(subset)
+        outside = [flop for flop in ordered if flop not in subset]
+        moves = []
+        if outside:
+            moves.append("add")
+        if len(inside) > 1:
+            moves.append("remove")
+        if inside and outside:
+            moves.append("swap")
+        if not moves:
+            break
+        move = rng.choice(moves)
+        if move == "add":
+            subset.add(rng.choice(outside))
+        elif move == "remove":
+            subset.discard(rng.choice(inside))
+        else:
+            subset.discard(rng.choice(inside))
+            subset.add(rng.choice(outside))
+        candidate = visit(HardeningAssignment.single(scheme, sorted(subset)))
+        delta = objective(candidate) - objective(current)
+        if delta <= 0:
+            current = candidate
+        else:
+            # acceptance draw from the same deterministic stream
+            draw = rng.integer(0, 10**9) / 1e9
+            if temperature > 0 and draw < math.exp(-delta / temperature):
+                current = candidate
+        temperature *= config.sa_cooling

@@ -15,6 +15,10 @@ The subcommands replace the plumbing the example scripts used to carry:
   (``eval/hardness.py``) instead.
 * ``harden`` — apply a :mod:`repro.hardening` transform (TMR / DWC /
   parity) to a circuit and report, or save, the protected netlist.
+* ``optimize`` — the selective-hardening design-space explorer
+  (:mod:`repro.optimize`): search flop subsets and mixed schemes under
+  an area budget / target rate and print the seeded Pareto front of
+  failure rate vs LUT/FF overhead (``--json`` for machines).
 * ``sampling-error`` — sampled vs exhaustive classification rates with
   interval-coverage checks (``eval/sampling_error.py``).
 * ``circuits`` — every registered + corpus circuit with its size
@@ -43,6 +47,8 @@ describe can be launched, resumed and reported from the shell::
     python -m repro run --circuit hardened:tmr:b04 --sample 500
     python -m repro report --hardness --circuit b04
     python -m repro harden --circuit b04 --scheme tmr -o b04_tmr.bnet
+    python -m repro optimize --circuit b04 --max-ff-overhead 100
+    python -m repro run --circuit b04 --hardening tmr --hardening-flops 'ff$a+ff$b'
     python -m repro run --circuit b14 --sample 500 --ci-target 0.03
     python -m repro sweep --circuits b14 --workers 4
     python -m repro report --circuit b09 --no-crossover
@@ -173,6 +179,13 @@ def _add_spec_arguments(parser: argparse.ArgumentParser, single: bool) -> None:
         help="protect the circuit with a hardening scheme before grading "
         "(equivalent to naming the circuit hardened:<scheme>:<name>)",
     )
+    parser.add_argument(
+        "--hardening-flops",
+        default=None,
+        metavar="FLOP[+FLOP...]",
+        help="restrict --hardening to a flop subset (selective hardening; "
+        "equivalent to the hardened:<scheme>@<flop>+<flop>:<name> spelling)",
+    )
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +269,7 @@ def _spec_from(args: argparse.Namespace) -> CampaignSpec:
         fault_model=args.fault_model,
         sampling=args.sampling,
         hardening=args.hardening,
+        hardening_flops=args.hardening_flops,
     )
 
 
@@ -394,6 +408,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             fault_model=args.fault_model,
             sampling=args.sampling,
             hardening=args.hardening,
+            hardening_flops=args.hardening_flops,
         )
         results = runner.sweep(specs)
         table = Table(
@@ -499,6 +514,11 @@ def _cmd_harden(args: argparse.Namespace) -> int:
     hardened = apply_hardening(args.scheme, plain, flops=args.flops)
     plain_area, hardened_area = area_of(plain), area_of(hardened)
     overhead = hardened_area.overhead_vs(plain_area)
+
+    def _pct_text(pct: Optional[float]) -> str:
+        # None = undefined overhead (zero-resource baseline); see area._pct
+        return "n/a" if pct is None else f"{pct:+.0f}%"
+
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(dumps_netlist(hardened))
@@ -512,8 +532,16 @@ def _cmd_harden(args: argparse.Namespace) -> int:
                     "flops": {"plain": plain.num_ffs, "hardened": hardened.num_ffs},
                     "gates": {"plain": plain.num_gates, "hardened": hardened.num_gates},
                     "luts": {"plain": plain_area.luts, "hardened": hardened_area.luts},
-                    "lut_overhead_pct": round(overhead.lut_overhead_pct, 2),
-                    "ff_overhead_pct": round(overhead.ff_overhead_pct, 2),
+                    "lut_overhead_pct": (
+                        None
+                        if overhead.lut_overhead_pct is None
+                        else round(overhead.lut_overhead_pct, 2)
+                    ),
+                    "ff_overhead_pct": (
+                        None
+                        if overhead.ff_overhead_pct is None
+                        else round(overhead.ff_overhead_pct, 2)
+                    ),
                     "output": args.output,
                 },
                 indent=2,
@@ -527,13 +555,70 @@ def _cmd_harden(args: argparse.Namespace) -> int:
         f"{plain.num_ffs} -> {hardened.num_ffs} FFs, "
         f"{plain.num_gates} -> {hardened.num_gates} gates, "
         f"{plain_area.luts} -> {hardened_area.luts} LUTs "
-        f"({overhead.lut_overhead_pct:+.0f}% LUTs, "
-        f"{overhead.ff_overhead_pct:+.0f}% FFs)"
+        f"({_pct_text(overhead.lut_overhead_pct)} LUTs, "
+        f"{_pct_text(overhead.ff_overhead_pct)} FFs)"
     )
     if args.output is not None:
         print(f"wrote {args.output}")
     else:
         print("(pass -o <path.bnet> to save the hardened netlist)")
+    return 0
+
+
+def _pct_value(text: str) -> float:
+    """Budget flag value: ``50``, ``50%`` and ``50.5%`` all mean 50(.5)."""
+    try:
+        return float(text.rstrip("%"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a percentage (e.g. 50 or 50%), got {text!r}"
+        ) from None
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.optimize import Evaluator, SearchConfig, explore, pareto_report
+
+    sample = args.sample
+    if sample is None and args.adaptive_half_width is None:
+        # Exhaustive grading of every candidate is pointlessly slow on
+        # anything bigger than the toy circuits; default to the sampled
+        # evaluation the acceptance bar (and CI smoke) uses.
+        sample = 200
+    base = CampaignSpec(
+        circuit=args.circuit,
+        technique="time_multiplexed",  # does not affect grading outcomes
+        engine=args.engine,
+        num_cycles=args.cycles,
+        testbench=args.testbench,
+        seed=args.seed,
+        sample=sample,
+        fault_model=args.fault_model,
+        sampling=args.sampling,
+    )
+    config = SearchConfig(
+        schemes=tuple(args.schemes),
+        mixed_scheme=(
+            None if args.mixed_scheme == "none" else args.mixed_scheme
+        ),
+        max_ff_overhead=args.max_ff_overhead,
+        max_lut_overhead=args.max_lut_overhead,
+        target_rate=args.target_rate,
+        sa_iterations=args.sa_iterations,
+        seed=args.seed,
+    )
+    if args.json:
+        # progress lines would interleave with the JSON document
+        args.quiet = True
+    runner = _runner_from(args)
+    evaluator = Evaluator(
+        base, runner, adaptive_half_width=args.adaptive_half_width
+    )
+    result = explore(evaluator, config)
+    report = pareto_report(base, result)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(report.render())
     return 0
 
 
@@ -846,21 +931,34 @@ def _cmd_query_flops(args: argparse.Namespace) -> int:
             circuit=args.circuit,
             fault_model=args.fault_model,
             limit=args.limit,
+            mode=args.mode,
         )
     if args.json:
         print(json.dumps(rows, indent=2))
         return 0
     scope = f"circuit {args.circuit}" if args.circuit else "all circuits"
+    if args.mode is not None:
+        scope += f", {args.mode} campaigns only"
     table = Table(
         ["flop", "campaigns", "faults", "failures", "failure rate"],
         title=f"Per-flop failure rate across campaigns ({scope})",
     )
+    mixed = False
     for row in rows:
+        flop = row["flop"]
+        if row["mixed_pool"]:
+            mixed = True
+            flop += " *"
         table.add_row(
-            [row["flop"], row["campaigns"], row["faults"], row["failures"],
+            [flop, row["campaigns"], row["faults"], row["failures"],
              f"{row['failure_rate']:.4f}"]
         )
     print(table.render())
+    if mixed:
+        print(
+            "  * pools sampled and exhaustive campaigns with equal per-fault "
+            "weight; scope with --mode sampled|exhaustive for unbiased rates"
+        )
     return 0
 
 
@@ -1004,6 +1102,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     harden_parser.set_defaults(func=_cmd_harden)
+
+    optimize_parser = commands.add_parser(
+        "optimize",
+        help="search flop subsets / mixed schemes for the best "
+        "protection-vs-area trade-off (Pareto front)",
+    )
+    optimize_parser.add_argument(
+        "--circuit", default="b04",
+        help="plain circuit to protect (also corpus:<name>, file:<path>)",
+    )
+    optimize_parser.add_argument(
+        "--engine",
+        default=DEFAULT_BACKEND,
+        choices=sorted(available_engines()),
+        help="fault-grading backend",
+    )
+    optimize_parser.add_argument("--cycles", type=int, default=None)
+    optimize_parser.add_argument(
+        "--testbench", default="auto", choices=TESTBENCH_KINDS
+    )
+    optimize_parser.add_argument("--seed", type=int, default=0)
+    optimize_parser.add_argument(
+        "--fault-model", default=DEFAULT_FAULT_MODEL,
+        help="fault model to inject: " + ", ".join(available_models()),
+    )
+    optimize_parser.add_argument(
+        "--sample", type=int, default=None,
+        help="faults graded per candidate point (default: 200; the "
+        "ranking campaign always grades stratified)",
+    )
+    optimize_parser.add_argument(
+        "--sampling", default="uniform", choices=SAMPLING_METHODS,
+        help="how candidate-point campaigns draw their sample",
+    )
+    optimize_parser.add_argument(
+        "--adaptive-half-width", type=float, default=None, metavar="W",
+        help="grade each point adaptively until the failure-rate 95%% "
+        "interval half-width reaches W (e.g. 0.03) instead of one "
+        "fixed-size sample",
+    )
+    optimize_parser.add_argument(
+        "--schemes", nargs="+", default=["tmr"],
+        choices=available_schemes(),
+        help="masking scheme(s) searched over flop subsets",
+    )
+    optimize_parser.add_argument(
+        "--mixed-scheme", default="parity",
+        choices=[*available_schemes(), "none"],
+        help="detection scheme layered under the masking prefix in mixed "
+        "points (none disables mixed stacks)",
+    )
+    optimize_parser.add_argument(
+        "--max-ff-overhead", "--budget-ffs", type=_pct_value, default=None,
+        metavar="PCT",
+        help="FF-overhead budget vs the plain circuit (50 or 50%%)",
+    )
+    optimize_parser.add_argument(
+        "--max-lut-overhead", "--budget-luts", type=_pct_value, default=None,
+        metavar="PCT",
+        help="LUT-overhead budget vs the plain circuit",
+    )
+    optimize_parser.add_argument(
+        "--target-rate", type=_pct_value, default=None, metavar="PCT",
+        help="pick the cheapest point at or below this failure rate "
+        "instead of the lowest-rate point in budget",
+    )
+    optimize_parser.add_argument(
+        "--sa-iterations", type=int, default=40,
+        help="simulated-annealing refinement steps (0 disables)",
+    )
+    optimize_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    _add_runner_arguments(optimize_parser)
+    optimize_parser.set_defaults(func=_cmd_optimize)
 
     sampling_parser = commands.add_parser(
         "sampling-error",
@@ -1216,6 +1389,13 @@ keys in later protocol versions.""",
     )
     flops_parser.add_argument(
         "--limit", type=int, default=20, help="rows to show (highest first)"
+    )
+    flops_parser.add_argument(
+        "--mode",
+        choices=("sampled", "exhaustive"),
+        default=None,
+        help="pool only sampled or only exhaustive campaigns (default: "
+        "pool everything, flagging flops fed by both)",
     )
     flops_parser.add_argument(
         "--json", action="store_true", help="machine-readable output"

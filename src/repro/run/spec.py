@@ -115,10 +115,18 @@ class CampaignSpec:
     method (``uniform`` or ``stratified`` by flop). ``hardening`` names a
     :mod:`repro.hardening` scheme applied to the built circuit (``tmr``,
     ``tmr_unvoted``, ``dwc``, ``parity``; ``None`` grades the plain
-    netlist) — spelling the circuit ``hardened:<scheme>:<base>`` is
-    equivalent and normalises to the same spec, so both forms share one
-    campaign identity. All fields are plain values so a spec round-trips
-    through JSON unchanged.
+    netlist) and ``hardening_flops`` optionally restricts it to a flop
+    subset (selective hardening; ``None`` protects every flop) —
+    spelling the circuit ``hardened:<scheme>[@<flop>+<flop>...]:<base>``
+    is equivalent and normalises to the same spec, so both forms share
+    one campaign identity. The base of a ``hardened:`` spelling may
+    itself be another ``hardened:`` name; only the outermost layer is
+    normalised into the spec fields, inner layers stay part of the
+    circuit name (mixed-scheme protection, the optimizer's search
+    space). Consequently a spec whose ``hardening`` is already set
+    treats a ``hardened:`` circuit as its base — the fields always
+    describe the *outermost* layer. All fields are plain values so a
+    spec round-trips through JSON unchanged.
     """
 
     circuit: str
@@ -133,20 +141,50 @@ class CampaignSpec:
     fault_model: str = DEFAULT_FAULT_MODEL
     sampling: str = "uniform"
     hardening: Optional[str] = None
+    hardening_flops: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
-        if self.circuit.startswith("hardened:"):
-            from repro.hardening import split_hardened_name
+        if self.hardening_flops is not None:
+            from repro.hardening import canonical_flop_subset
 
-            scheme, base = split_hardened_name(self.circuit)
-            if self.hardening is not None and self.hardening != scheme:
+            if isinstance(self.hardening_flops, str):
+                # accept the grammar's "+"-joined spelling as a scalar
+                flops: Sequence[str] = self.hardening_flops.split("+")
+            else:
+                flops = self.hardening_flops
+            object.__setattr__(
+                self, "hardening_flops", canonical_flop_subset(flops)
+            )
+        if self.circuit.startswith("hardened:") and self.hardening is None:
+            # Peel the outermost hardened: layer into the spec fields.
+            # Only when ``hardening`` is unset: a set scheme means the
+            # fields already describe the outer layer and the circuit
+            # name is the (possibly itself hardened) base underneath —
+            # the state replace()/from_dict round-trips through, and the
+            # normalisation's own fixed point.
+            from repro.hardening import parse_hardened_name
+
+            scheme, flops, base = parse_hardened_name(self.circuit)
+            if (
+                self.hardening_flops is not None
+                and flops is not None
+                and self.hardening_flops != flops
+            ):
                 raise CampaignError(
-                    f"circuit {self.circuit!r} names hardening scheme "
-                    f"{scheme!r} but the spec also sets "
-                    f"hardening={self.hardening!r}; pick one spelling"
+                    f"circuit {self.circuit!r} names flop subset "
+                    f"{'+'.join(flops)} but the spec also sets "
+                    f"hardening_flops={'+'.join(self.hardening_flops)}; "
+                    "pick one spelling"
                 )
             object.__setattr__(self, "circuit", base)
             object.__setattr__(self, "hardening", scheme)
+            if flops is not None:
+                object.__setattr__(self, "hardening_flops", flops)
+        if self.hardening_flops is not None and self.hardening is None:
+            raise CampaignError(
+                "hardening_flops names a protected subset but no hardening "
+                "scheme is set; add hardening=<scheme> (CLI: --hardening)"
+            )
         if self.hardening is not None:
             from repro.hardening import get_hardening_scheme
 
@@ -178,22 +216,34 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
+    @property
+    def base_circuit(self) -> str:
+        """The circuit name with every ``hardened:`` layer stripped —
+        the plain design underneath a (possibly nested) protection
+        stack, which is what per-circuit defaults key on."""
+        name = self.circuit
+        while name.startswith("hardened:"):
+            from repro.hardening import parse_hardened_name
+
+            name = parse_hardened_name(name)[2]
+        return name
+
     def resolved_cycles(self) -> int:
         """Testbench length after applying per-circuit defaults."""
         if self.num_cycles is not None:
             return self.num_cycles
-        return PAPER_CYCLES.get(self.circuit, DEFAULT_CYCLES)
+        return PAPER_CYCLES.get(self.base_circuit, DEFAULT_CYCLES)
 
     def is_imported(self) -> bool:
         """True when the circuit comes from a netlist file (``file:`` or
         ``corpus:``) rather than a registered builder."""
-        return self.circuit.startswith(("file:", "corpus:"))
+        return self.base_circuit.startswith(("file:", "corpus:"))
 
     def resolved_testbench_kind(self) -> str:
         """Testbench kind after resolving ``auto``."""
         if self.testbench != "auto":
             return self.testbench
-        if self.circuit == "b14":
+        if self.base_circuit == "b14":
             return "program"
         return "imported" if self.is_imported() else "random"
 
@@ -205,21 +255,26 @@ class CampaignSpec:
         """The circuit's full registry spelling, hardening included."""
         if self.hardening is None:
             return self.circuit
-        return f"hardened:{self.hardening}:{self.circuit}"
+        from repro.hardening import format_scheme_segment
+
+        segment = format_scheme_segment(self.hardening, self.hardening_flops)
+        return f"hardened:{segment}:{self.circuit}"
 
     def build_netlist(self) -> Netlist:
         netlist = build_circuit(self.circuit)
         if self.hardening is not None:
             from repro.hardening import apply_hardening
 
-            netlist = apply_hardening(self.hardening, netlist)
+            netlist = apply_hardening(
+                self.hardening, netlist, flops=self.hardening_flops
+            )
         return netlist
 
     def build_testbench(self, netlist: Netlist) -> Testbench:
         kind = self.resolved_testbench_kind()
         cycles = self.resolved_cycles()
         if kind == "program":
-            if self.circuit != "b14":
+            if self.base_circuit != "b14":
                 raise CampaignError(
                     "the program testbench is b14's instruction stimulus; "
                     f"circuit {self.circuit!r} cannot use it"
@@ -284,9 +339,12 @@ class CampaignSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         """Plain-dict form; ``from_dict`` inverts it exactly."""
-        return {
+        data = {
             field.name: getattr(self, field.name) for field in fields(self)
         }
+        if data["hardening_flops"] is not None:
+            data["hardening_flops"] = list(data["hardening_flops"])
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignSpec":
@@ -325,6 +383,11 @@ class CampaignSpec:
             # Only present when set, so pre-hardening stores keep their
             # campaign ids (and resume) across this change.
             key["hardening"] = self.hardening
+        if self.hardening_flops is not None:
+            # Likewise only when set: all-flops campaigns keep their
+            # pre-subset-grammar ids, while every distinct subset gets
+            # its own resumable store.
+            key["hardening_flops"] = list(self.hardening_flops)
         digest = self.circuit_digest()
         if digest is not None:
             key["circuit_digest"] = digest
@@ -378,22 +441,41 @@ class CampaignSpec:
             # The hardened netlist has a different flop population, so a
             # mismatched resume should name the hardening difference.
             key["hardening"] = self.hardening
+        if self.hardening_flops is not None:
+            key["hardening_flops"] = list(self.hardening_flops)
         return key
 
     @property
     def campaign_id(self) -> str:
-        """Stable, filesystem-safe identity of this campaign's oracle."""
+        """Stable, filesystem-safe identity of this campaign's oracle.
+
+        Selective-subset segments are compacted in the slug (``@3ff``
+        instead of the flop names) and the slug is capped, so a
+        30-flop-subset campaign still gets a short, filesystem-safe
+        directory name; the digest suffix keeps identities distinct.
+        """
         canonical = json.dumps(self.oracle_key(), sort_keys=True)
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
-        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", self.effective_circuit)
+        name = re.sub(
+            r"@[^:]+",
+            lambda match: f"@{match.group(0).count('+') + 1}ff",
+            self.effective_circuit,
+        )
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", name)[:96].rstrip("-.")
         return f"{slug}-{digest}"
 
     def with_technique(self, technique: str) -> "CampaignSpec":
         return replace(self, technique=technique)
 
-    def with_hardening(self, hardening: Optional[str]) -> "CampaignSpec":
+    def with_hardening(
+        self,
+        hardening: Optional[str],
+        hardening_flops: Optional[Sequence[str]] = None,
+    ) -> "CampaignSpec":
         """The same campaign against a (differently) hardened circuit."""
-        return replace(self, hardening=hardening)
+        return replace(
+            self, hardening=hardening, hardening_flops=hardening_flops
+        )
 
     # ------------------------------------------------------------------
     # sweeps

@@ -206,10 +206,18 @@ class _Handler(BaseHTTPRequestHandler):
         db = self.service.db
         if kind == "flop_failures":
             limit = int(query["limit"]) if "limit" in query else None
+            mode = query.get("mode")
+            if mode not in (None, "sampled", "exhaustive"):
+                self._error(
+                    f"unknown mode {mode!r}; expected sampled or exhaustive",
+                    400,
+                )
+                return
             rows = db.flop_failure_rates(
                 circuit=query.get("circuit"),
                 fault_model=query.get("fault_model"),
                 limit=limit,
+                mode=mode,
             )
         elif kind == "classes":
             rows = db.class_breakdown(

@@ -141,6 +141,7 @@ def spec_from_manifest(manifest: Dict) -> CampaignSpec:
             fault_model=str(oracle.get("fault_model", "seu")),
             sampling=str(oracle.get("sampling", "uniform")),
             hardening=oracle.get("hardening"),
+            hardening_flops=oracle.get("hardening_flops"),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ServiceError(
@@ -596,6 +597,7 @@ class ResultsDB:
         circuit: Optional[str] = None,
         fault_model: Optional[str] = None,
         limit: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> List[Dict]:
         """Per-flop failure rate aggregated **across campaigns**.
 
@@ -604,7 +606,24 @@ class ResultsDB:
         in flop X propagate to an output, pooled over every campaign
         (optionally restricted to one circuit and/or fault model) in
         the database.
+
+        Pooling gives every *fault* equal weight, so mixing sampled and
+        exhaustive campaigns biases the rate toward whichever mode
+        contributed more rows — an exhaustive campaign can drown a
+        sampled one (or, with large samples over many campaigns, the
+        reverse). ``mode`` scopes the aggregate: ``"exhaustive"`` pools
+        only complete-population campaigns, ``"sampled"`` only sampled
+        ones, ``None`` pools everything but flags the bias — each row
+        then carries ``sampled_campaigns`` / ``exhaustive_campaigns``
+        counts and ``mixed_pool`` is true where both contributed.
+        Consumers that rank flops (the selective-hardening optimizer)
+        should pass a mode or check the flag.
         """
+        if mode not in (None, "sampled", "exhaustive"):
+            raise ServiceError(
+                f"unknown sampling-mode filter {mode!r}; expected "
+                "'sampled', 'exhaustive' or None (pool everything)"
+            )
         conditions = ["1=1"]
         params: List = []
         if circuit is not None:
@@ -613,9 +632,17 @@ class ResultsDB:
         if fault_model is not None:
             conditions.append("c.fault_model = ?")
             params.append(fault_model)
+        if mode == "sampled":
+            conditions.append("c.sample IS NOT NULL")
+        elif mode == "exhaustive":
+            conditions.append("c.sample IS NULL")
         query = (
             "SELECT o.flop AS flop, "
             "COUNT(DISTINCT o.campaign_id) AS campaigns, "
+            "COUNT(DISTINCT CASE WHEN c.sample IS NOT NULL "
+            "THEN o.campaign_id END) AS sampled_campaigns, "
+            "COUNT(DISTINCT CASE WHEN c.sample IS NULL "
+            "THEN o.campaign_id END) AS exhaustive_campaigns, "
             "COUNT(*) AS faults, "
             "SUM(o.verdict = 'failure') AS failures, "
             "ROUND(1.0 * SUM(o.verdict = 'failure') / COUNT(*), 6) "
@@ -631,7 +658,14 @@ class ResultsDB:
             params.append(int(limit))
         with self._lock:
             rows = self._conn.execute(query, params).fetchall()
-        return [dict(row) for row in rows]
+        results = []
+        for row in rows:
+            result = dict(row)
+            result["mixed_pool"] = bool(
+                result["sampled_campaigns"] and result["exhaustive_campaigns"]
+            )
+            results.append(result)
+        return results
 
     def class_breakdown(self, group: str = "effective_circuit") -> List[Dict]:
         """Per-group verdict totals across all campaigns.

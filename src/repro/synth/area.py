@@ -77,27 +77,42 @@ class AreaReport:
 
 @dataclass(frozen=True)
 class AreaOverhead:
-    """An area report annotated with overhead percentages."""
+    """An area report annotated with overhead percentages.
+
+    A percentage of ``None`` means the overhead is undefined: the
+    baseline had zero of that resource while this circuit has some, so
+    there is no finite ratio to print (rendered as ``n/a``).
+    """
 
     name: str
     luts: int
     ffs: int
-    lut_overhead_pct: float
-    ff_overhead_pct: float
+    lut_overhead_pct: Optional[float]
+    ff_overhead_pct: Optional[float]
     bram_kbits: float
 
     def lut_cell(self) -> str:
         """Render like the paper: ``1,657 (41%)``."""
+        if self.lut_overhead_pct is None:
+            return f"{self.luts:,} (n/a)"
         return f"{self.luts:,} ({self.lut_overhead_pct:.0f}%)"
 
     def ff_cell(self) -> str:
         """Render like the paper: ``434 (102%)``."""
+        if self.ff_overhead_pct is None:
+            return f"{self.ffs:,} (n/a)"
         return f"{self.ffs:,} ({self.ff_overhead_pct:.0f}%)"
 
 
-def _pct(value: int, baseline: int) -> float:
+def _pct(value: int, baseline: int) -> Optional[float]:
+    """Overhead of ``value`` over ``baseline`` in percent.
+
+    Mirrors ``HardnessRow.failure_reduction_pct``'s handling of the
+    degenerate baseline: growing from zero has no finite percentage
+    (``None``, rendered ``n/a``), while zero-over-zero is a true 0%.
+    """
     if baseline == 0:
-        return 0.0
+        return 0.0 if value == 0 else None
     return 100.0 * (value - baseline) / baseline
 
 

@@ -84,8 +84,30 @@ class TestReportShape:
             sample=50,
         )
         for row in report.rows:
-            assert row.populations["seu"] == 50
-        assert "sample=50" in report.render()
+            # samples is what was graded; populations the complete fault
+            # set the sample was drawn from (the pre-fix code conflated
+            # the two under --sample)
+            assert row.samples["seu"] == 50
+            assert row.populations["seu"] == row.num_flops * 24
+            assert row.populations["seu"] > row.samples["seu"]
+            for model in ("seu", "stuck_at_1"):
+                estimates = row.estimates[model]
+                for estimate in estimates.values():
+                    assert estimate.trials == 50
+                    assert estimate.half_width > 0
+        rendered = report.render()
+        assert "sample=50" in rendered
+        assert "±" in rendered
+        assert "Wilson 95% half-widths" in rendered
+
+    def test_exhaustive_report_has_no_estimates(self):
+        report = run_hardness_experiment(
+            "b02", schemes=("tmr",), fault_models=("seu",), num_cycles=24
+        )
+        for row in report.rows:
+            assert row.samples["seu"] == row.populations["seu"]
+            assert not row.estimates
+        assert "±" not in report.render()
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(CampaignError, match="nope"):

@@ -78,12 +78,34 @@ class TestSpecComposition:
         )
         assert all(s.hardening == "dwc" for s in specs)
 
-    def test_conflicting_spellings_rejected(self):
+    def test_set_hardening_composes_over_hardened_circuit(self):
+        # A set scheme means the fields describe the *outermost* layer;
+        # the hardened: circuit name is the (nested) base underneath.
+        spec = CampaignSpec(
+            circuit="hardened:tmr:b02",
+            technique="mask_scan",
+            hardening="dwc",
+        )
+        assert spec.circuit == "hardened:tmr:b02"
+        assert spec.hardening == "dwc"
+        assert spec.effective_circuit == "hardened:dwc:hardened:tmr:b02"
+        # idempotent under round-trips — re-normalising changes nothing
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_conflicting_flop_subsets_rejected(self):
         with pytest.raises(Exception, match="pick one spelling"):
             CampaignSpec(
-                circuit="hardened:tmr:b02",
+                circuit="hardened:tmr@ff$rmax[0]:b04",
                 technique="mask_scan",
-                hardening="dwc",
+                hardening_flops=["ff$rmax[1]"],
+            )
+
+    def test_flops_without_scheme_rejected(self):
+        with pytest.raises(Exception, match="no hardening scheme"):
+            CampaignSpec(
+                circuit="b04",
+                technique="mask_scan",
+                hardening_flops=["ff$rmax[0]"],
             )
 
     def test_population_counts_hardened_flops(self):
@@ -101,6 +123,98 @@ class TestSpecComposition:
         assert spec.is_imported()
         assert spec.resolved_testbench_kind() == "imported"
         assert spec.circuit_digest() is not None
+
+
+class TestSubsetSpecs:
+    """The ``hardened:<scheme>@<flop>+<flop>:<base>`` subset grammar:
+    registry construction, spec identity and store separation."""
+
+    def test_registry_builds_subset(self):
+        plain = build_circuit("b02")
+        subset = build_circuit("hardened:tmr@ff$phase[0]+ff$shift[1]:b02")
+        # TMR adds two copies per protected flop only
+        assert subset.num_ffs == plain.num_ffs + 4
+
+    def test_subset_order_is_canonical(self):
+        forward = CampaignSpec(
+            circuit="hardened:tmr@ff$phase[0]+ff$shift[1]:b02",
+            technique="mask_scan",
+        )
+        backward = CampaignSpec(
+            circuit="hardened:tmr@ff$shift[1]+ff$phase[0]:b02",
+            technique="mask_scan",
+        )
+        assert forward == backward
+        assert forward.campaign_id == backward.campaign_id
+
+    def test_subset_ids_distinct_per_subset(self):
+        def spec_for(circuit):
+            return CampaignSpec(circuit=circuit, technique="mask_scan")
+
+        ids = {
+            spec_for("b02").campaign_id,
+            spec_for("hardened:tmr:b02").campaign_id,
+            spec_for("hardened:tmr@ff$phase[0]:b02").campaign_id,
+            spec_for("hardened:tmr@ff$shift[0]:b02").campaign_id,
+            spec_for(
+                "hardened:tmr@ff$phase[0]+ff$shift[0]:b02"
+            ).campaign_id,
+        }
+        assert len(ids) == 5
+
+    def test_subset_in_oracle_key_only_when_set(self):
+        subset = CampaignSpec(
+            circuit="hardened:tmr@ff$phase[0]:b02", technique="mask_scan"
+        )
+        assert subset.oracle_key()["hardening_flops"] == ["ff$phase[0]"]
+        full = CampaignSpec(
+            circuit="hardened:tmr:b02", technique="mask_scan"
+        )
+        assert "hardening_flops" not in full.oracle_key()
+
+    def test_nested_layers_compose(self):
+        spec = CampaignSpec(
+            circuit="hardened:parity@ff$shift[0]:b02",
+            technique="mask_scan",
+            hardening="tmr",
+            hardening_flops=["ff$phase[0]"],
+        )
+        assert spec.base_circuit == "b02"
+        assert (
+            spec.effective_circuit
+            == "hardened:tmr@ff$phase[0]:hardened:parity@ff$shift[0]:b02"
+        )
+        netlist = spec.build_netlist()
+        # parity adds one stored bit, tmr adds two copies of one flop
+        assert netlist.num_ffs == build_circuit("b02").num_ffs + 3
+
+    def test_subset_store_resume_and_separation(self, tmp_path):
+        lines = []
+        subset = CampaignSpec(
+            circuit="hardened:tmr@ff$phase[0]:b02",
+            technique="mask_scan",
+            num_cycles=12,
+        )
+        edited = CampaignSpec(
+            circuit="hardened:tmr@ff$phase[0]+ff$shift[0]:b02",
+            technique="mask_scan",
+            num_cycles=12,
+        )
+        runner = CampaignRunner(store_root=str(tmp_path), progress=lines.append)
+        first = runner.grade(subset)
+        assert subset.campaign_id.startswith("hardened-tmr-1ff-b02-")
+        assert (tmp_path / subset.campaign_id / "shards.jsonl").exists()
+        lines.clear()
+        resumed = runner.grade(subset)
+        assert any("resuming" in line for line in lines)
+        assert resumed.fail_cycles == first.fail_cycles
+        # an edited subset is a different campaign: fresh store, full
+        # regrade, no resume from the old one
+        lines.clear()
+        runner.grade(edited)
+        assert edited.campaign_id != subset.campaign_id
+        assert (tmp_path / edited.campaign_id / "shards.jsonl").exists()
+        assert not any("resuming" in line for line in lines)
 
 
 class TestRunnerAndStore:
@@ -168,6 +282,27 @@ class TestCli:
         assert payload["spec"]["hardening"] == "tmr"
         assert payload["spec"]["circuit"] == "b02"
         assert payload["campaign_id"].startswith("hardened-tmr-b02-")
+
+    def test_run_with_hardening_flops_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--circuit", "b02",
+                "--hardening", "tmr",
+                "--hardening-flops", "ff$phase[0]+ff$shift[1]",
+                "--cycles", "12",
+                "--no-store",
+                "--quiet",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out[out.index("{"):])
+        assert payload["spec"]["hardening_flops"] == [
+            "ff$phase[0]", "ff$shift[1]"
+        ]
+        assert payload["campaign_id"].startswith("hardened-tmr-2ff-b02-")
 
     def test_run_with_hardened_circuit_name(self, capsys):
         code = main(

@@ -1,0 +1,61 @@
+"""HardeningAssignment: canonical layer stacks and spec construction."""
+
+import pytest
+
+from repro.errors import HardeningError
+from repro.optimize import HardeningAssignment
+from repro.run.spec import CampaignSpec
+
+
+class TestConstruction:
+    def test_plain(self):
+        plain = HardeningAssignment.plain()
+        assert plain.is_plain
+        assert plain.label == "plain"
+        assert plain.circuit_name("b04") == "b04"
+        assert plain.protected_flops() == ()
+
+    def test_single_full_scheme(self):
+        full = HardeningAssignment.single("tmr")
+        assert full.label == "tmr"
+        assert full.circuit_name("b04") == "hardened:tmr:b04"
+
+    def test_subset_is_canonicalised(self):
+        forward = HardeningAssignment.single("tmr", ["b", "a", "b"])
+        backward = HardeningAssignment.single("tmr", ["a", "b"])
+        assert forward == backward
+        assert forward.circuit_name("b02") == "hardened:tmr@a+b:b02"
+
+    def test_wrapped_stacks_outermost_last(self):
+        mixed = HardeningAssignment.single("parity", ["c", "d"]).wrapped(
+            "tmr", ["a"]
+        )
+        assert mixed.label == "tmr@1ff+parity@2ff"
+        assert (
+            mixed.circuit_name("b02")
+            == "hardened:tmr@a:hardened:parity@c+d:b02"
+        )
+        assert mixed.protected_flops() == ("a", "c", "d")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(Exception, match="bogus"):
+            HardeningAssignment.single("bogus")
+
+
+class TestSpecFor:
+    def test_spec_for_builds_hardened_spec(self):
+        base = CampaignSpec(circuit="b02", technique="mask_scan")
+        spec = HardeningAssignment.single("tmr", ["ff$phase[0]"]).spec_for(
+            base
+        )
+        assert spec.hardening == "tmr"
+        assert spec.hardening_flops == ("ff$phase[0]",)
+        assert spec.base_circuit == "b02"
+        # everything but the protection is inherited
+        assert spec.technique == base.technique
+        assert spec.seed == base.seed
+
+    def test_spec_for_rejects_hardened_base(self):
+        base = CampaignSpec(circuit="hardened:tmr:b02", technique="mask_scan")
+        with pytest.raises(HardeningError, match="plain"):
+            HardeningAssignment.single("parity").spec_for(base)

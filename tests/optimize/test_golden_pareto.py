@@ -1,0 +1,51 @@
+"""Golden snapshot of the b04 selective-hardening Pareto report.
+
+The acceptance-criteria run — ``repro optimize --circuit b04
+--max-ff-overhead 100`` — is fully deterministic (seeded sampling,
+seeded annealing, memoized evaluation), so its rendered report is
+pinned byte-for-byte. Any change to the ranking, the search schedule,
+the grading path or the table layout fails here loudly instead of
+drifting silently.
+
+To refresh after an *intentional* change: delete
+``tests/golden/pareto_b04.txt`` and re-run with ``REPRO_REGEN_GOLDEN=1``.
+"""
+
+import io
+import os
+from contextlib import redirect_stdout
+from pathlib import Path
+
+from repro.run.cli import main
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "golden" / "pareto_b04.txt"
+)
+
+
+def test_b04_pareto_report_matches_golden():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(
+            [
+                "optimize",
+                "--circuit", "b04",
+                "--max-ff-overhead", "100",
+                "--no-store",
+                "--quiet",
+            ]
+        )
+    assert code == 0
+    actual = buffer.getvalue()
+    assert "beats full tmr" in actual, (
+        "no point dominates the full-TMR anchor — the mixed-stack "
+        "search regressed"
+    )
+    if os.environ.get("REPRO_REGEN_GOLDEN") and not GOLDEN_PATH.exists():
+        GOLDEN_PATH.write_text(actual, encoding="utf-8")
+    golden = GOLDEN_PATH.read_text(encoding="utf-8")
+    assert actual == golden, (
+        "the b04 Pareto report drifted from pareto_b04.txt; if the "
+        "change is intentional, delete the golden file and regenerate "
+        "with REPRO_REGEN_GOLDEN=1"
+    )

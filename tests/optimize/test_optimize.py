@@ -1,0 +1,200 @@
+"""The selective-hardening explorer end to end on b02 (4 flops, cheap):
+determinism, Pareto-front soundness, the unprotected-failure metric and
+the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.optimize import (
+    Evaluator,
+    HardeningAssignment,
+    SearchConfig,
+    explore,
+    pareto_report,
+)
+from repro.run.cli import main
+from repro.run.runner import CampaignRunner
+from repro.run.spec import CampaignSpec
+
+
+def _base(**overrides):
+    fields = {
+        "circuit": "b02",
+        "technique": "mask_scan",
+        "num_cycles": 16,
+        "sample": 40,
+    }
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def _explore(config=None, runner=None, base=None):
+    base = base or _base()
+    evaluator = Evaluator(base, runner=runner or CampaignRunner())
+    result = explore(evaluator, config or SearchConfig(max_ff_overhead=150.0))
+    return base, result
+
+
+class TestDeterminism:
+    def test_same_seed_same_front(self):
+        base1, result1 = _explore()
+        base2, result2 = _explore()
+        report1 = pareto_report(base1, result1).to_json()
+        report2 = pareto_report(base2, result2).to_json()
+        assert report1 == report2
+
+    def test_workers_bit_exact_with_serial(self):
+        base1, result1 = _explore(runner=CampaignRunner(workers=1))
+        base2, result2 = _explore(
+            runner=CampaignRunner(workers=2, shards=4)
+        )
+        assert (
+            pareto_report(base1, result1).to_json()
+            == pareto_report(base2, result2).to_json()
+        )
+
+
+class TestSearch:
+    def test_front_is_mutually_non_dominated(self):
+        _, result = _explore()
+        front = result.front()
+        assert front
+        for point in front:
+            assert not any(
+                other.dominates(point) for other in front if other is not point
+            )
+
+    def test_anchors_are_always_evaluated(self):
+        _, result = _explore()
+        labels = {point.label for point in result.points}
+        assert "plain" in labels
+        assert "tmr" in labels
+
+    def test_best_respects_ff_budget(self):
+        config = SearchConfig(max_ff_overhead=100.0)
+        _, result = _explore(config=config)
+        best = result.best()
+        assert best is not None
+        assert best.ff_overhead_pct <= 100.0
+        # full TMR (+200% FFs) can never be the pick under a 100% cap
+        assert best.assignment.layers != (("tmr", None),)
+
+    def test_target_rate_picks_cheapest_sufficient_point(self):
+        config = SearchConfig(target_rate=50.0)
+        _, result = _explore(config=config)
+        best = result.best()
+        assert best is not None
+        assert best.failure_rate_pct <= 50.0
+        cheaper = [
+            point
+            for point in result.points
+            if point.failure_rate_pct <= 50.0 and point.ffs < best.ffs
+        ]
+        assert not cheaper
+
+    def test_config_validation(self):
+        with pytest.raises(CampaignError, match="bogus"):
+            SearchConfig(schemes=("bogus",))
+        with pytest.raises(CampaignError, match="at least one"):
+            SearchConfig(schemes=())
+        with pytest.raises(CampaignError, match="sa_iterations"):
+            SearchConfig(sa_iterations=-1)
+
+
+class TestUnprotectedMetric:
+    def test_detection_scheme_failures_count_as_detected(self):
+        base = _base(sample=None)  # exhaustive: rates are exact
+        evaluator = Evaluator(base, runner=CampaignRunner())
+        plain = evaluator.evaluate(HardeningAssignment.plain())
+        parity = evaluator.evaluate(HardeningAssignment.single("parity"))
+        # full parity covers every flop plus its own stored bit: every
+        # failure is flagged, so nothing is left unprotected …
+        assert parity.failure_rate_pct == 0.0
+        assert parity.detected_rate_pct > 0.0
+        # … while the plain circuit detects nothing
+        assert plain.detected_rate_pct == 0.0
+        assert plain.failure_rate_pct > 0.0
+
+    def test_masking_scheme_has_no_detected_share(self):
+        base = _base(sample=None)
+        evaluator = Evaluator(base, runner=CampaignRunner())
+        tmr = evaluator.evaluate(HardeningAssignment.single("tmr"))
+        assert tmr.detected_rate_pct == 0.0
+        assert tmr.failure_rate_pct == 0.0
+
+    def test_mixed_stack_dominates_full_tmr(self):
+        base, result = _explore()
+        report = pareto_report(base, result)
+        mixed = [
+            point
+            for point in result.points
+            if len(point.assignment.layers) > 1
+        ]
+        assert mixed, "the search evaluated no mixed stacks"
+        assert any(report.dominates_full_tmr(point) for point in mixed)
+
+
+class TestEvaluator:
+    def test_memoization_shares_work(self):
+        evaluator = Evaluator(_base(), runner=CampaignRunner())
+        first = evaluator.evaluate(HardeningAssignment.single("tmr"))
+        again = evaluator.evaluate(HardeningAssignment.single("tmr"))
+        assert first is again
+        assert evaluator.evaluations == 1
+
+    def test_ranking_covers_every_flop(self):
+        evaluator = Evaluator(_base(), runner=CampaignRunner())
+        ranking = evaluator.rank_flops()
+        names = {rank.flop for rank in ranking}
+        assert names == set(_base().build_netlist().ff_names())
+        rates = [rank.failure_rate for rank in ranking]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestCli:
+    def test_optimize_json_schema(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--circuit", "b02",
+                "--cycles", "16",
+                "--sample", "40",
+                "--max-ff-overhead", "150",
+                "--no-store",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["circuit"] == "b02"
+        assert payload["budget"]["max_ff_overhead_pct"] == 150.0
+        assert payload["front"], "empty Pareto front"
+        assert payload["best"] is not None
+        assert payload["best"]["within_budget"]
+        for point in payload["points"]:
+            for key in (
+                "label", "layers", "campaign_id", "failure_rate_pct",
+                "detected_rate_pct", "ffs", "luts", "ff_overhead_pct",
+                "on_front", "within_budget", "dominates_full_tmr",
+            ):
+                assert key in point
+        assert payload["ranking"]
+
+    def test_optimize_text_report(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--circuit", "b02",
+                "--cycles", "16",
+                "--sample", "40",
+                "--budget-ffs", "150%",
+                "--no-store",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Selective-hardening Pareto front — b02" in out
+        assert "budget: FF overhead <= 150%" in out
+        assert "best:" in out

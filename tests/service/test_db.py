@@ -268,6 +268,47 @@ class TestQueries:
             # "across campaigns" claim to be exercised.
             assert any(row["campaigns"] > 1 for row in rows)
 
+    def test_flop_query_mode_scoping_and_mixed_pool_flag(self, tmp_path):
+        """Mixing sampled and exhaustive campaigns biases the pooled
+        per-fault rate; ``mode`` scopes the pool and the unscoped rows
+        carry a ``mixed_pool`` warning flag."""
+        # b02 is small enough to grade exhaustively in-test
+        sampled_spec = _spec(circuit="b02", num_cycles=24, sample=30)
+        exhaustive_spec = _spec(circuit="b02", num_cycles=24, sample=None)
+        _graded_store(tmp_path, sampled_spec)
+        _graded_store(tmp_path, exhaustive_spec)
+        with ResultsDB(str(tmp_path / "svc.db")) as db:
+            db.import_root(str(tmp_path / "runs"))
+            pooled = db.flop_failure_rates(circuit="b02")
+            sampled = db.flop_failure_rates(circuit="b02", mode="sampled")
+            exhaustive = db.flop_failure_rates(
+                circuit="b02", mode="exhaustive"
+            )
+            # every b02 flop appears in both campaigns -> all pooled
+            # rows are flagged, scoped rows never are
+            assert pooled and all(row["mixed_pool"] for row in pooled)
+            assert sampled and not any(row["mixed_pool"] for row in sampled)
+            assert exhaustive
+            assert not any(row["mixed_pool"] for row in exhaustive)
+            for rows, key in (
+                (sampled, "sampled_campaigns"),
+                (exhaustive, "exhaustive_campaigns"),
+            ):
+                assert all(row[key] == 1 for row in rows)
+                assert all(row["campaigns"] == 1 for row in rows)
+            # the scoped pools partition the unscoped one
+            by_flop = {row["flop"]: row for row in pooled}
+            for row in sampled:
+                other = next(
+                    r for r in exhaustive if r["flop"] == row["flop"]
+                )
+                assert (
+                    row["faults"] + other["faults"]
+                    == by_flop[row["flop"]]["faults"]
+                )
+            with pytest.raises(ServiceError, match="sampling-mode"):
+                db.flop_failure_rates(mode="bogus")
+
     def test_flop_query_filters_by_circuit(self, tmp_path):
         _graded_store(tmp_path, _spec())
         _graded_store(tmp_path, _spec(circuit="b06"))

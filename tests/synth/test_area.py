@@ -1,0 +1,44 @@
+"""Area reports and overhead rendering, including the degenerate
+zero-resource baseline (overhead undefined, rendered ``n/a``)."""
+
+from repro.synth.area import AreaReport, _pct
+
+
+class TestPct:
+    def test_normal_overhead(self):
+        assert _pct(150, 100) == 50.0
+        assert _pct(100, 100) == 0.0
+        assert _pct(50, 100) == -50.0
+
+    def test_zero_baseline_is_undefined(self):
+        # growing from zero has no finite ratio — not 0%
+        assert _pct(7, 0) is None
+
+    def test_zero_over_zero_is_true_zero(self):
+        assert _pct(0, 0) == 0.0
+
+
+class TestOverheadRendering:
+    def test_cells_with_defined_overhead(self):
+        report = AreaReport(name="h", luts=150, ffs=12)
+        overhead = report.overhead_vs(AreaReport(name="p", luts=100, ffs=4))
+        assert overhead.lut_overhead_pct == 50.0
+        assert overhead.ff_overhead_pct == 200.0
+        assert overhead.lut_cell() == "150 (50%)"
+        assert overhead.ff_cell() == "12 (200%)"
+
+    def test_cells_with_zero_baseline_render_na(self):
+        # a baseline with no flip-flops: the hardened version's FF
+        # "overhead" is undefined and must not print as (0%)
+        report = AreaReport(name="h", luts=20, ffs=3)
+        overhead = report.overhead_vs(AreaReport(name="p", luts=0, ffs=0))
+        assert overhead.lut_overhead_pct is None
+        assert overhead.ff_overhead_pct is None
+        assert overhead.lut_cell() == "20 (n/a)"
+        assert overhead.ff_cell() == "3 (n/a)"
+
+    def test_zero_over_zero_renders_zero_pct(self):
+        report = AreaReport(name="h", luts=10, ffs=0)
+        overhead = report.overhead_vs(AreaReport(name="p", luts=10, ffs=0))
+        assert overhead.ff_overhead_pct == 0.0
+        assert overhead.ff_cell() == "0 (0%)"
